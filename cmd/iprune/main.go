@@ -1,0 +1,130 @@
+// Command iprune trains and prunes one of the paper's TinyML models and
+// writes the pruned model to disk.
+//
+// Usage:
+//
+//	iprune -model HAR -criterion iprune -out har-pruned.model
+//
+// Flags:
+//
+//	-model NAME       SQN, HAR or CKS (default HAR)
+//	-criterion NAME   iprune | eprune | macs | uniform (default iprune)
+//	-in FILE          load a pretrained model instead of training
+//	-out FILE         where to write the pruned model (default <model>-<criterion>.model)
+//	-epochs N         pretraining epochs (default 8)
+//	-iters N          max pruning iterations (default 6)
+//	-epsilon F        recoverable accuracy-loss threshold (default 0.05)
+//	-seed N           random seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"iprune"
+)
+
+func main() {
+	model := flag.String("model", "HAR", "model name: SQN, HAR or CKS")
+	criterion := flag.String("criterion", "iprune", "pruning criterion: iprune|eprune|macs|uniform")
+	in := flag.String("in", "", "pretrained model file (skips training)")
+	out := flag.String("out", "", "output model file")
+	epochs := flag.Int("epochs", 8, "pretraining epochs")
+	iters := flag.Int("iters", 6, "max pruning iterations")
+	epsilon := flag.Float64("epsilon", 0.05, "recoverable accuracy-loss threshold")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var crit iprune.Criterion
+	switch strings.ToLower(*criterion) {
+	case "iprune":
+		crit = iprune.CriterionAccOutputs
+	case "eprune":
+		crit = iprune.CriterionEnergy
+	case "macs":
+		crit = iprune.CriterionMACs
+	case "uniform":
+		crit = iprune.CriterionUniform
+	default:
+		log.Fatalf("unknown criterion %q", *criterion)
+	}
+
+	ds, err := datasetFor(*model, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var net *iprune.Network
+	if *in != "" {
+		net, err = iprune.LoadModel(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %s (accuracy %.1f%%)\n", *in, 100*iprune.Accuracy(net, ds.Test))
+	} else {
+		net, err = iprune.BuildModel(*model, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("training %s for %d epochs...\n", *model, *epochs)
+		iprune.TrainSGD(net, ds.Train, *epochs, 0.005, *seed)
+		fmt.Printf("base accuracy %.1f%%\n", 100*iprune.Accuracy(net, ds.Test))
+	}
+
+	opts := iprune.DefaultPruneOptions()
+	opts.MaxIters = *iters
+	opts.Epsilon = *epsilon
+	opts.FinetuneEpochs = 4
+	opts.LR = 0.002
+	opts.LRDecay = 0.85
+	opts.GammaHat = 0.2
+	opts.Seed = *seed
+	opts.Logf = func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) }
+
+	fmt.Printf("pruning with %s...\n", crit.Name())
+	res, err := iprune.PruneWith(crit, net, ds.Train, ds.Test, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	before, err := iprune.Stats(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := iprune.Stats(res.Net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accuracy  %.1f%% -> %.1f%%\n", 100*res.BaseAccuracy, 100*res.Accuracy)
+	fmt.Printf("size      %d KB -> %d KB\n", before.SizeBytes/1024, after.SizeBytes/1024)
+	fmt.Printf("MACs      %d K -> %d K\n", before.MACs/1000, after.MACs/1000)
+	fmt.Printf("acc. outs %d K -> %d K\n", before.AccOutputs/1000, after.AccOutputs/1000)
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s-%s.model", strings.ToLower(*model), strings.ToLower(crit.Name()))
+	}
+	if err := iprune.SaveModel(path, res.Net, *seed); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func datasetFor(model string, seed int64) (*iprune.Dataset, error) {
+	cfg := iprune.DataConfig{Train: 256, Test: 128}
+	switch model {
+	case "SQN":
+		cfg.Noise = 0.45
+		return iprune.ImageData(cfg, seed), nil
+	case "HAR":
+		cfg.Noise = 0.35
+		return iprune.HARData(cfg, seed), nil
+	case "CKS":
+		cfg.Noise = 0.5
+		return iprune.SpeechData(cfg, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+}

@@ -1,0 +1,103 @@
+// Command isim simulates intermittent DNN inference of a model on the
+// MSP430-class device under a chosen power supply, reporting latency,
+// energy, power cycles and the active-time breakdown.
+//
+// Usage:
+//
+//	isim -model HAR -power weak
+//	isim -in har-iprune.model -power 6mW -n 5
+//
+// Flags:
+//
+//	-model NAME    SQN, HAR or CKS (fresh, untrained weights; default HAR)
+//	-in FILE       simulate a model file written by cmd/iprune instead
+//	-power NAME    continuous | strong | weak, or a custom value like 6mW
+//	-n N           number of inferences to simulate (default 1)
+//	-seed N        random seed for harvest jitter (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"iprune"
+)
+
+func main() {
+	model := flag.String("model", "HAR", "model name: SQN, HAR or CKS")
+	in := flag.String("in", "", "model file to simulate")
+	powerName := flag.String("power", "strong", "supply: continuous|strong|weak or e.g. 6mW")
+	n := flag.Int("n", 1, "inferences to simulate")
+	seed := flag.Int64("seed", 1, "harvest jitter seed")
+	flag.Parse()
+
+	var net *iprune.Network
+	var err error
+	if *in != "" {
+		net, err = iprune.LoadModel(*in)
+	} else {
+		net, err = iprune.BuildModel(*model, *seed)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sup, err := parseSupply(*powerName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st, err := iprune.Stats(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %s (%d KB, %d K MACs, %d K accelerator outputs)\n",
+		net.Name, st.SizeBytes/1024, st.MACs/1000, st.AccOutputs/1000)
+	fmt.Printf("supply: %s (%g mW)\n", sup.Name, sup.Power*1e3)
+
+	var totalLat, totalEnergy float64
+	var totalFail int
+	for i := 0; i < *n; i++ {
+		r := iprune.Simulate(net, sup, *seed+int64(i))
+		totalLat += r.Latency
+		totalEnergy += r.Energy
+		totalFail += r.Failures
+		fmt.Printf("inference %d: latency %.3fs (active %.3fs, charging %.3fs), %d power cycles, %.2f mJ\n",
+			i+1, r.Latency, r.ActiveTime, r.OffTime, r.Failures, r.Energy*1e3)
+		if i == 0 {
+			b := r.Break
+			total := b.ReadTime + b.WriteTime + b.ComputeTime + b.OverheadTime
+			if total > 0 {
+				fmt.Printf("  breakdown: NVM-read %.1f%%  NVM-write %.1f%%  compute %.1f%%  overhead %.1f%%  (+recovery %.3fs)\n",
+					100*b.ReadTime/total, 100*b.WriteTime/total,
+					100*b.ComputeTime/total, 100*b.OverheadTime/total, b.RecoveryTime)
+			}
+		}
+	}
+	if *n > 1 {
+		fmt.Printf("mean: latency %.3fs, %.1f power cycles, %.2f mJ\n",
+			totalLat/float64(*n), float64(totalFail)/float64(*n), totalEnergy*1e3/float64(*n))
+	}
+}
+
+func parseSupply(name string) (iprune.Supply, error) {
+	switch strings.ToLower(name) {
+	case "continuous":
+		return iprune.ContinuousPower, nil
+	case "strong":
+		return iprune.StrongPower, nil
+	case "weak":
+		return iprune.WeakPower, nil
+	}
+	if s, ok := strings.CutSuffix(strings.ToLower(name), "mw"); ok {
+		mw, err := strconv.ParseFloat(s, 64)
+		if err != nil || mw <= 0 {
+			return iprune.Supply{}, fmt.Errorf("bad power %q", name)
+		}
+		return iprune.Supply{Name: name, Power: mw * 1e-3, Jitter: 0.15}, nil
+	}
+	return iprune.Supply{}, fmt.Errorf("unknown supply %q (continuous|strong|weak|<N>mW)", name)
+}

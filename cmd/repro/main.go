@@ -1,0 +1,122 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation (Section IV) from this repository's implementation.
+//
+// Usage:
+//
+//	repro [flags] <what>
+//
+// where <what> is one of: table1, table2, table3, fig2, fig5, layers, all.
+//
+// Flags:
+//
+//	-scale quick|full   pipeline scale (default quick; full is the
+//	                    paper-style run used for EXPERIMENTS.md)
+//	-cache DIR          cache trained/pruned models under DIR
+//	-seed N             master random seed (default 42)
+//	-q                  quiet: suppress progress logging
+//	-csv FILE           also write tidy results CSV (pipeline targets only)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"iprune/internal/models"
+	"iprune/internal/report"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "pipeline scale: quick or full")
+	cache := flag.String("cache", "", "cache directory for trained/pruned models")
+	seed := flag.Int64("seed", 42, "master random seed")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	csvPath := flag.String("csv", "", "also write tidy results CSV to this path")
+	flag.Parse()
+	what := flag.Arg(0)
+	if what == "" {
+		what = "all"
+	}
+
+	var sc report.Scale
+	switch *scale {
+	case "quick":
+		sc = report.Quick
+	case "full":
+		sc = report.Full
+	default:
+		log.Fatalf("unknown scale %q (quick or full)", *scale)
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+
+	needsPipeline := map[string]bool{"table2": true, "table3": true, "fig5": true, "layers": true, "all": true}
+	var results []*report.AppResult
+	if needsPipeline[what] {
+		var err error
+		results, err = report.RunAll(sc, *seed, *cache, logf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := report.WriteCSV(f, results); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	switch what {
+	case "table1":
+		fmt.Print(report.RenderTable1())
+	case "table2":
+		fmt.Print(report.RenderTable2(results))
+	case "table3":
+		fmt.Print(report.RenderTable3(results))
+	case "fig2":
+		printFig2(sc, *seed)
+	case "fig5":
+		fmt.Print(report.RenderFig5(results))
+	case "layers":
+		for _, r := range results {
+			fmt.Print(report.RenderLayerTable(r))
+		}
+	case "all":
+		fmt.Print(report.RenderTable1())
+		fmt.Println()
+		fmt.Print(report.RenderTable2(results))
+		fmt.Println()
+		fmt.Print(report.RenderTable3(results))
+		fmt.Println()
+		printFig2(sc, *seed)
+		fmt.Println()
+		fmt.Print(report.RenderFig5(results))
+		fmt.Println()
+		for _, r := range results {
+			fmt.Print(report.RenderLayerTable(r))
+		}
+	default:
+		log.Fatalf("unknown target %q (table1|table2|table3|fig2|fig5|layers|all)", what)
+	}
+}
+
+func printFig2(sc report.Scale, seed int64) {
+	for _, app := range models.Names() {
+		conv, inter, err := report.Fig2Breakdown(app, sc, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(report.RenderFig2(app, conv, inter))
+	}
+}

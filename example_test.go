@@ -1,0 +1,71 @@
+package iprune_test
+
+import (
+	"fmt"
+
+	"iprune"
+)
+
+// Example_characterize shows the analytic characterization path: build a
+// paper model and read the quantities the pruning criterion is built on.
+// No training involved, so the output is deterministic.
+func Example_characterize() {
+	net, err := iprune.BuildModel("HAR", 1)
+	if err != nil {
+		panic(err)
+	}
+	st, err := iprune.Stats(net)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("HAR: %d KB, %d K MACs, %d K accelerator outputs\n",
+		st.SizeBytes/1024, st.MACs/1000, st.AccOutputs/1000)
+	// Output:
+	// HAR: 31 KB, 460 K MACs, 50 K accelerator outputs
+}
+
+// Example_simulate runs one simulated intermittent inference under the
+// paper's strong (8 mW) harvested supply with deterministic jitter.
+func Example_simulate() {
+	net, err := iprune.BuildModel("HAR", 1)
+	if err != nil {
+		panic(err)
+	}
+	sup := iprune.StrongPower
+	sup.Jitter = 0 // deterministic for the doc example
+	res := iprune.Simulate(net, sup, 1)
+	fmt.Printf("power cycles > 10: %v\n", res.Failures > 10)
+	fmt.Printf("charging dominates: %v\n", res.OffTime > res.ActiveTime)
+	// Output:
+	// power cycles > 10: true
+	// charging dominates: true
+}
+
+// Example_engine deploys a model on the functional HAWAII⁺ engine and
+// shows that a power failure every third preservation boundary does not
+// change the classification.
+func Example_engine() {
+	net, err := iprune.BuildModel("HAR", 1)
+	if err != nil {
+		panic(err)
+	}
+	eng, err := iprune.Engine(net)
+	if err != nil {
+		panic(err)
+	}
+	ds := iprune.HARData(iprune.DataConfig{Train: 4, Test: 1, Noise: 0.3}, 1)
+	eng.Calibrate(ds.Train)
+	clean, err := eng.Infer(ds.Test[0].X, nil)
+	if err != nil {
+		panic(err)
+	}
+	faulty, err := eng.Infer(ds.Test[0].X, &iprune.FailEveryN{N: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("failures injected > 100: %v\n", faulty.Stats.Failures > 100)
+	fmt.Printf("same prediction: %v\n", clean.Pred == faulty.Pred)
+	// Output:
+	// failures injected > 100: true
+	// same prediction: true
+}

@@ -1,0 +1,71 @@
+// model_switcher: environment-adaptive model selection (in the spirit of
+// EVE, the paper's reference [8]). The deployment stores the unpruned HAR
+// model plus two pruned variants; at run time a selector picks the most
+// accurate variant whose simulated intermittent latency meets the
+// application deadline under the currently harvested power.
+//
+//	go run ./examples/model_switcher
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iprune"
+	"iprune/internal/adaptive"
+	"iprune/internal/core"
+)
+
+func main() {
+	ds := iprune.HARData(iprune.DataConfig{Train: 192, Test: 96, Noise: 0.4}, 17)
+	base, err := iprune.BuildModel("HAR", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training the base model...")
+	iprune.TrainSGD(base, ds.Train, 8, 0.005, 2)
+
+	// Build the variant ladder: base, plus two one-shot pruned-and-tuned
+	// variants at increasing depth.
+	variants := []adaptive.Variant{{
+		Name: "full", Net: base, Accuracy: iprune.Accuracy(base, ds.Test),
+	}}
+	for _, ratio := range []float64{0.35, 0.65} {
+		v := base.Clone()
+		if _, err := iprune.Stats(v); err != nil { // installs masks
+			log.Fatal(err)
+		}
+		core.OneShotBlocks(v, ratio)
+		iprune.TrainSGD(v, ds.Train, 4, 0.002, 2) // brief recovery tuning
+		variants = append(variants, adaptive.Variant{
+			Name:     fmt.Sprintf("pruned%.0f%%", ratio*100),
+			Net:      v,
+			Accuracy: iprune.Accuracy(v, ds.Test),
+		})
+	}
+	for _, v := range variants {
+		st, err := iprune.Stats(v.Net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s accuracy %.1f%%, %2d KB, %d K accelerator outputs\n",
+			v.Name, 100*v.Accuracy, st.SizeBytes/1024, st.AccOutputs/1000)
+	}
+
+	sel, err := adaptive.NewSelector(variants)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const deadline = 0.35 // seconds per classification
+	fmt.Printf("\nselector decisions for a %.2fs deadline:\n", deadline)
+	for _, mw := range []float64{2, 3, 4, 6, 8, 12, 1650} {
+		d := sel.Pick(mw*1e-3, deadline)
+		status := "meets deadline"
+		if !d.Met {
+			status = "DEADLINE MISSED (fastest available)"
+		}
+		fmt.Printf("  %7.0f mW -> %-10s (est. %.3fs, accuracy %.1f%%) %s\n",
+			mw, d.Variant.Name, d.Latency, 100*d.Variant.Accuracy, status)
+	}
+}

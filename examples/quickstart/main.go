@@ -1,0 +1,65 @@
+// Quickstart: train the HAR activity model, prune it with iPrune, and
+// compare simulated intermittent inference latency before and after.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iprune"
+)
+
+func main() {
+	// 1. Data and model: the 6-class accelerometer task from the paper.
+	ds := iprune.HARData(iprune.DataConfig{Train: 192, Test: 96, Noise: 0.35}, 42)
+	net, err := iprune.BuildModel("HAR", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Pretrain.
+	fmt.Println("training HAR (8 epochs)...")
+	iprune.TrainSGD(net, ds.Train, 8, 0.005, 7)
+	fmt.Printf("  float accuracy:    %.1f%%\n", 100*iprune.Accuracy(net, ds.Test))
+
+	// 3. Prune with the intermittent-aware criterion.
+	opts := iprune.DefaultPruneOptions()
+	opts.MaxIters = 5
+	opts.FinetuneEpochs = 4
+	opts.Epsilon = 0.05 // the 96-sample split quantizes accuracy in ~1% steps
+	opts.GammaCap = 0.5
+	opts.LR = 0.004
+	fmt.Println("pruning with iPrune...")
+	res, err := iprune.Prune(net, ds.Train, ds.Test, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d iterations, accuracy %.1f%% (base %.1f%%)\n",
+		res.Iterations, 100*res.Accuracy, 100*res.BaseAccuracy)
+
+	// 4. Compare the deployed models.
+	before, err := iprune.Stats(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := iprune.Stats(res.Net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  model size:        %d KB -> %d KB\n", before.SizeBytes/1024, after.SizeBytes/1024)
+	fmt.Printf("  MACs:              %d K -> %d K\n", before.MACs/1000, after.MACs/1000)
+	fmt.Printf("  accelerator outs:  %d K -> %d K  (the iPrune criterion)\n",
+		before.AccOutputs/1000, after.AccOutputs/1000)
+	fmt.Printf("  deployed accuracy: %.1f%% (Q15)\n", 100*iprune.DeployedAccuracy(res.Net, ds.Test))
+
+	// 5. Simulate intermittent inference on the MSP430-class device under
+	// the paper's harvested-power operating points.
+	for _, sup := range []iprune.Supply{iprune.ContinuousPower, iprune.StrongPower, iprune.WeakPower} {
+		b := iprune.Simulate(net, sup, 1)
+		a := iprune.Simulate(res.Net, sup, 1)
+		fmt.Printf("  %-10s latency %.3fs -> %.3fs  (%.2fx, %d -> %d power cycles)\n",
+			sup.Name, b.Latency, a.Latency, b.Latency/a.Latency, b.Failures, a.Failures)
+	}
+}

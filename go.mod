@@ -1,0 +1,3 @@
+module iprune
+
+go 1.22

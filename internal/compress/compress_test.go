@@ -1,0 +1,171 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+
+	"iprune/internal/nn"
+	"iprune/internal/tensor"
+	"iprune/internal/tile"
+)
+
+func buildNet(seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	n := nn.NewNetwork("c", 4)
+	n.Add(nn.NewConv2D("c1", tensor.ConvGeom{InC: 2, InH: 8, InW: 8, OutC: 6, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, rng))
+	n.Add(nn.NewReLU("r"))
+	n.Add(nn.NewFlatten("f"))
+	n.Add(nn.NewFC("fc", 6*8*8, 4, rng))
+	cfg := tile.DefaultConfig()
+	specs := tile.SpecsFromNetwork(n, cfg)
+	tile.InstallMasks(n, specs)
+	return n
+}
+
+func TestShareReducesDistinctValues(t *testing.T) {
+	net := buildNet(1)
+	res, err := Share(net, 4, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range net.Prunables() {
+		w, _, _ := p.WeightMatrix()
+		distinct := map[float32]bool{}
+		for _, v := range w {
+			if v != 0 {
+				distinct[v] = true
+			}
+		}
+		if len(distinct) > 16 {
+			t.Errorf("%s: %d distinct values after 4-bit sharing", p.Name(), len(distinct))
+		}
+	}
+	if res.MeanSquaredError <= 0 {
+		t.Error("MSE should be positive for real weights")
+	}
+	if len(res.Codebooks) != 2 {
+		t.Errorf("codebooks = %d, want 2", len(res.Codebooks))
+	}
+}
+
+func TestShareMSEShrinksWithBits(t *testing.T) {
+	coarse, err := Share(buildNet(2), 2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Share(buildNet(2), 6, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.MeanSquaredError >= coarse.MeanSquaredError {
+		t.Errorf("6-bit MSE %g >= 2-bit MSE %g", fine.MeanSquaredError, coarse.MeanSquaredError)
+	}
+}
+
+func TestSharePreservesPrunedZeros(t *testing.T) {
+	net := buildNet(3)
+	p := net.Prunables()[0]
+	p.Mask().Keep[0] = false
+	p.ApplyMask()
+	if _, err := Share(net, 4, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	w, _, cols := p.WeightMatrix()
+	r0, r1, c0, c1 := p.Mask().BlockBounds(0)
+	for r := r0; r < r1; r++ {
+		for c := c0; c < c1; c++ {
+			if w[r*cols+c] != 0 {
+				t.Fatal("sharing resurrected a pruned weight")
+			}
+		}
+	}
+}
+
+func TestShareDoesNotChangeJobs(t *testing.T) {
+	// The extension's headline: weight sharing shrinks storage but not
+	// the accelerator-output count (intermittent latency driver).
+	net := buildNet(4)
+	cfg := tile.DefaultConfig()
+	specs := tile.SpecsFromNetwork(net, cfg)
+	before := tile.CountNetwork(net, specs, tile.Intermittent, cfg).Jobs
+	if _, err := Share(net, 4, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	after := tile.CountNetwork(net, specs, tile.Intermittent, cfg).Jobs
+	if before != after {
+		t.Errorf("sharing changed jobs %d -> %d", before, after)
+	}
+}
+
+func TestShareAccuracyDegradesGracefully(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := buildNet(5)
+	var samples []nn.Sample
+	for i := 0; i < 40; i++ {
+		label := i % 4
+		x := tensor.New(2, 8, 8)
+		for j := range x.Data {
+			x.Data[j] = float32(rng.NormFloat64()*0.3) + float32(label)*0.5 - 1
+		}
+		samples = append(samples, nn.Sample{X: x, Label: label})
+	}
+	opt := nn.NewSGD(0.05, 0.9)
+	for e := 0; e < 6; e++ {
+		nn.TrainEpoch(net, samples, opt, 8, rng)
+	}
+	base := nn.Accuracy(net, samples)
+	if base < 0.9 {
+		t.Skipf("training failed (%v); nothing to test", base)
+	}
+	if _, err := Share(net, 5, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	shared := nn.Accuracy(net, samples)
+	if base-shared > 0.15 {
+		t.Errorf("5-bit sharing lost %.3f accuracy", base-shared)
+	}
+}
+
+func TestSizeBytesSmallerThanDense(t *testing.T) {
+	net := buildNet(6)
+	res, err := Share(net, 4, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := 2 * net.TotalWeights() // Q15 bytes
+	sharedSize := SizeBytes(net, res, 0)
+	if sharedSize >= dense {
+		t.Errorf("shared size %d >= dense %d", sharedSize, dense)
+	}
+}
+
+func TestShareValidation(t *testing.T) {
+	net := buildNet(7)
+	if _, err := Share(net, 0, 10, 1); err == nil {
+		t.Error("expected error for 0 bits")
+	}
+	if _, err := Share(net, 16, 10, 1); err == nil {
+		t.Error("expected error for 16 bits")
+	}
+	if _, err := Share(net, 4, 0, 1); err == nil {
+		t.Error("expected error for 0 iters")
+	}
+}
+
+func TestShareDeterministic(t *testing.T) {
+	a := buildNet(8)
+	b := buildNet(8)
+	if _, err := Share(a, 4, 10, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Share(b, 4, 10, 9); err != nil {
+		t.Fatal(err)
+	}
+	wa, _, _ := a.Prunables()[0].WeightMatrix()
+	wb, _, _ := b.Prunables()[0].WeightMatrix()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("sharing not deterministic for same seed")
+		}
+	}
+}

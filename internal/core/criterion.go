@@ -1,0 +1,111 @@
+// Package core implements the paper's contribution: intermittent-aware
+// neural network pruning (iPrune, Section III), alongside the
+// energy-aware comparison framework (ePrune) and ablation criteria.
+//
+// The framework follows the estimate–prune–retrain principle with
+// iterative pruning. Each iteration runs the three-step strategy of
+// Figure 4:
+//
+//  1. network level — pick the overall pruning ratio Γ from per-layer
+//     sensitivity ranks (guideline 1);
+//  2. layer level — allocate per-layer ratios γᵢ with simulated
+//     annealing, minimizing the criterion subject to Σγᵢkᵢ = ΓK
+//     (guideline 2);
+//  3. block level — remove the lowest-RMS weight blocks of each layer,
+//     one accelerator operation's weights at a time (guideline 3);
+//
+// then fine-tunes and applies the ε-recoverable stopping rule with a
+// second chance (Section III-A).
+package core
+
+import (
+	"iprune/internal/device"
+	"iprune/internal/nn"
+	"iprune/internal/tile"
+)
+
+// Criterion estimates how much each layer contributes to the quantity a
+// pruning framework wants to reduce. Higher score → prune more there.
+type Criterion interface {
+	Name() string
+	// LayerScores returns one positive score per prunable layer under the
+	// network's current masks.
+	LayerScores(net *nn.Network, specs []tile.LayerSpec, cfg tile.Config, dev *device.Profile) []float64
+}
+
+// AccOutputs is iPrune's criterion (Section III-B): the number of
+// accelerator outputs a layer produces, which governs both progress
+// preservation traffic and, through NVM write energy, the power-failure
+// frequency of intermittent inference.
+type AccOutputs struct{}
+
+// Name implements Criterion.
+func (AccOutputs) Name() string { return "iPrune" }
+
+// LayerScores implements Criterion.
+func (AccOutputs) LayerScores(net *nn.Network, specs []tile.LayerSpec, cfg tile.Config, _ *device.Profile) []float64 {
+	jobs := tile.LayerJobs(net, specs, cfg)
+	out := make([]float64, len(jobs))
+	for i, j := range jobs {
+		out[i] = float64(j)
+	}
+	return out
+}
+
+// Energy is ePrune's criterion (after Yang et al. [18]): the estimated
+// energy a layer consumes on a continuously-powered system — accelerator
+// MACs plus NVM traffic under the conventional data-reuse flow, priced by
+// the device profile's energy model.
+type Energy struct{}
+
+// Name implements Criterion.
+func (Energy) Name() string { return "ePrune" }
+
+// LayerScores implements Criterion.
+func (Energy) LayerScores(net *nn.Network, specs []tile.LayerSpec, cfg tile.Config, dev *device.Profile) []float64 {
+	prunables := net.Prunables()
+	out := make([]float64, len(specs))
+	for i := range specs {
+		c := tile.CountLayer(&specs[i], prunables[i].Mask(), tile.Continuous, cfg)
+		e := dev.ComputeEnergy(c.MACs) +
+			dev.TransferEnergyOf(c.TotalNVMRead(), false) +
+			dev.TransferEnergyOf(c.TotalNVMWrite(), true)
+		out[i] = e
+	}
+	return out
+}
+
+// MACs is an ablation criterion: computational work only, ignoring where
+// outputs go.
+type MACs struct{}
+
+// Name implements Criterion.
+func (MACs) Name() string { return "macs" }
+
+// LayerScores implements Criterion.
+func (MACs) LayerScores(net *nn.Network, specs []tile.LayerSpec, cfg tile.Config, _ *device.Profile) []float64 {
+	prunables := net.Prunables()
+	out := make([]float64, len(specs))
+	for i := range specs {
+		c := tile.CountLayer(&specs[i], prunables[i].Mask(), tile.Intermittent, cfg)
+		out[i] = float64(c.MACs)
+	}
+	return out
+}
+
+// Uniform is an ablation criterion that treats every layer alike, which
+// reduces the allocation step to magnitude-only (RMS) pruning spread
+// evenly by weight count.
+type Uniform struct{}
+
+// Name implements Criterion.
+func (Uniform) Name() string { return "uniform" }
+
+// LayerScores implements Criterion.
+func (Uniform) LayerScores(net *nn.Network, specs []tile.LayerSpec, _ tile.Config, _ *device.Profile) []float64 {
+	out := make([]float64, len(specs))
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"iprune/internal/nn"
+)
+
+// OneShotBlocks prunes the given fraction of every prunable layer's
+// weights in one pass at block granularity (lowest RMS first). Used as an
+// ablation baseline against the iterative three-step strategy.
+func OneShotBlocks(net *nn.Network, ratio float64) {
+	for _, p := range net.Prunables() {
+		ls := newLayerState(p, 1, 0)
+		n := ls.blocksFor(ratio)
+		ids := sortedKeptBlocks(p)
+		for _, id := range ids[:min(n, len(ids))] {
+			p.Mask().Keep[id] = false
+		}
+		p.ApplyMask()
+	}
+}
+
+// FineGrainedZero zeroes the given fraction of each layer's individual
+// smallest-magnitude weights without touching the block masks — the
+// classic fine-grained pruning of Han et al. [6]. It raises sparsity but,
+// because the surviving blocks still contain nonzero weights, the
+// accelerator-operation schedule (and hence the accelerator-output count)
+// is unchanged: the paper's guideline-3 argument for block granularity.
+func FineGrainedZero(net *nn.Network, ratio float64) {
+	for _, p := range net.Prunables() {
+		w, _, _ := p.WeightMatrix()
+		idx := make([]int, len(w))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return math.Abs(float64(w[idx[a]])) < math.Abs(float64(w[idx[b]]))
+		})
+		n := int(ratio * float64(len(w)))
+		for _, i := range idx[:n] {
+			w[i] = 0
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"iprune/internal/device"
+	"iprune/internal/nn"
+	"iprune/internal/search"
+	"iprune/internal/tile"
+)
+
+// Options tunes the iterative pruning loop. The defaults follow the
+// paper's Section III-D: Γ̂ = 40 %, ε = 1 %, a second chance of two
+// over-threshold iterations, RMS block importance, and simulated
+// annealing for ratio allocation.
+type Options struct {
+	Epsilon      float64 // recoverable accuracy-loss threshold ε
+	GammaHat     float64 // upper bound Γ̂ on the per-iteration overall ratio
+	SecondChance int     // over-threshold iterations tolerated before stopping
+	MaxIters     int     // safety cap on iterations
+	GammaCap     float64 // ceiling on any single layer's per-iteration ratio
+
+	FinetuneEpochs int
+	LR             float64
+	LRDecay        float64 // per-epoch LR decay during fine-tuning
+	Momentum       float64
+	Batch          int
+
+	SensitivityDelta float64 // trial ratio used by the sensitivity analysis
+	SenseSamples     int     // validation subset size for sensitivity probes
+	Lambda           float64 // accuracy-impact weight in the allocator
+
+	Anneal search.Config
+	Seed   int64
+	Logf   func(format string, args ...any) // optional progress logger
+}
+
+// DefaultOptions returns the paper-default configuration.
+func DefaultOptions() Options {
+	return Options{
+		Epsilon:          0.01,
+		GammaHat:         0.40,
+		SecondChance:     2,
+		MaxIters:         12,
+		GammaCap:         0.85,
+		FinetuneEpochs:   1,
+		LR:               0.01,
+		LRDecay:          1.0,
+		Momentum:         0.9,
+		Batch:            16,
+		SensitivityDelta: 0.10,
+		SenseSamples:     96,
+		Lambda:           2.0,
+		Anneal:           search.DefaultConfig(),
+		Seed:             1,
+	}
+}
+
+// IterStats records one pruning iteration for reporting.
+type IterStats struct {
+	Iter     int
+	Gamma    float64   // overall ratio Γ chosen this iteration
+	Ratios   []float64 // per-layer ratios γᵢ
+	Accuracy float64   // validation accuracy after fine-tuning
+	Jobs     int64     // accelerator outputs of the model afterwards
+	Weights  int       // remaining weights afterwards
+	OverEps  bool      // accuracy drop exceeded ε
+}
+
+// Result is the outcome of a pruning run.
+type Result struct {
+	Net          *nn.Network // most compact model with accuracy recovered
+	BaseAccuracy float64     // validation accuracy of the input model
+	Accuracy     float64     // validation accuracy of Result.Net
+	Iterations   int         // iterations executed
+	History      []IterStats
+}
+
+// Pruner drives the estimate–prune–retrain loop for a given criterion.
+type Pruner struct {
+	Crit Criterion
+	Opt  Options
+	Cfg  tile.Config
+	Dev  device.Profile
+}
+
+// NewPruner builds a pruner with the default device profile and options.
+func NewPruner(crit Criterion) *Pruner {
+	return &Pruner{Crit: crit, Opt: DefaultOptions(), Cfg: tile.DefaultConfig(), Dev: device.MSP430FR5994()}
+}
+
+func (p *Pruner) logf(format string, args ...any) {
+	if p.Opt.Logf != nil {
+		p.Opt.Logf(format, args...)
+	}
+}
+
+// Run prunes the network iteratively. The input network must already be
+// trained; its masks are installed (or replaced) to match the accelerator
+// block geometry. The input is not modified — the returned Result.Net is
+// an independent clone.
+func (p *Pruner) Run(net *nn.Network, train, val []nn.Sample) (*Result, error) {
+	if len(train) == 0 || len(val) == 0 {
+		return nil, fmt.Errorf("core: empty train (%d) or validation (%d) set", len(train), len(val))
+	}
+	work := net.Clone()
+	specs := tile.SpecsFromNetwork(work, p.Cfg)
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: network %q has no prunable layers", net.Name)
+	}
+	tile.InstallMasks(work, specs)
+	work.ApplyMasks()
+
+	rng := rand.New(rand.NewSource(p.Opt.Seed))
+	res := &Result{BaseAccuracy: nn.Accuracy(work, val)}
+	best := work.Clone()
+	res.Accuracy = res.BaseAccuracy
+	strikes := 0
+
+	for iter := 1; iter <= p.Opt.MaxIters; iter++ {
+		prunables := work.Prunables()
+		scores := p.Crit.LayerScores(work, specs, p.Cfg, &p.Dev)
+
+		// Step 0: layer-wise sensitivity analysis.
+		sens := p.sensitivity(work, val, rng)
+
+		// Step 1 (guideline 1): overall ratio Γ from sensitivity ranks.
+		gamma := p.selectGamma(scores, sens)
+
+		// Step 2 (guideline 2): per-layer ratios via simulated annealing.
+		layers := make([]*layerState, len(prunables))
+		for i, pr := range prunables {
+			layers[i] = newLayerState(pr, scores[i], 0)
+		}
+		applySensitivity(layers, sens)
+		ratios := allocate(layers, gamma, p.Opt.GammaCap, p.Opt.Lambda, p.Opt.Anneal, p.Opt.Seed+int64(iter))
+
+		// Step 3 (guideline 3): block-level pruning by RMS.
+		prunedBlocks := 0
+		for i, pr := range prunables {
+			n := layers[i].blocksFor(ratios[i])
+			ids := sortedKeptBlocks(pr)
+			// Belt over the allocator's suspenders: a layer always keeps
+			// its highest-RMS block.
+			n = min(n, len(ids)-1)
+			if n <= 0 {
+				continue
+			}
+			for _, id := range ids[:n] {
+				pr.Mask().Keep[id] = false
+				prunedBlocks++
+			}
+			pr.ApplyMask()
+		}
+		if prunedBlocks == 0 {
+			p.logf("iter %d: nothing left to prune (Γ=%.3f)", iter, gamma)
+			res.Iterations = iter
+			break
+		}
+
+		// Retrain to recover.
+		opt := nn.NewSGD(p.Opt.LR, p.Opt.Momentum)
+		for e := 0; e < p.Opt.FinetuneEpochs; e++ {
+			nn.TrainEpoch(work, train, opt, p.Opt.Batch, rng)
+			if p.Opt.LRDecay > 0 {
+				opt.LR *= p.Opt.LRDecay
+			}
+		}
+		acc := nn.Accuracy(work, val)
+
+		st := IterStats{
+			Iter:     iter,
+			Gamma:    gamma,
+			Ratios:   append([]float64(nil), ratios...),
+			Accuracy: acc,
+			Jobs:     tile.CountNetwork(work, specs, tile.Intermittent, p.Cfg).Jobs,
+			Weights:  work.TotalWeights(),
+			OverEps:  res.BaseAccuracy-acc > p.Opt.Epsilon,
+		}
+		res.History = append(res.History, st)
+		res.Iterations = iter
+		p.logf("iter %d: Γ=%.3f acc=%.4f (base %.4f) jobs=%d weights=%d overEps=%v",
+			iter, gamma, acc, res.BaseAccuracy, st.Jobs, st.Weights, st.OverEps)
+
+		if st.OverEps {
+			strikes++
+			if strikes >= p.Opt.SecondChance {
+				break
+			}
+		} else {
+			// Accuracy recovered: this is the most compact acceptable
+			// model so far.
+			best = work.Clone()
+			res.Accuracy = acc
+		}
+	}
+	res.Net = best
+	return res, nil
+}
+
+// sensitivity measures, per layer, the validation-accuracy drop caused by
+// trial-pruning SensitivityDelta of the layer's remaining weights (lowest
+// RMS blocks first), with everything else untouched.
+func (p *Pruner) sensitivity(net *nn.Network, val []nn.Sample, rng *rand.Rand) []float64 {
+	subset := val
+	if p.Opt.SenseSamples > 0 && len(val) > p.Opt.SenseSamples {
+		subset = make([]nn.Sample, p.Opt.SenseSamples)
+		perm := rng.Perm(len(val))
+		for i := range subset {
+			subset[i] = val[perm[i]]
+		}
+	}
+	base := nn.Accuracy(net, subset)
+	prunables := net.Prunables()
+	sens := make([]float64, len(prunables))
+	for i := range prunables {
+		trial := net.Clone()
+		tp := trial.Prunables()[i]
+		ids := sortedKeptBlocks(tp)
+		n := int(float64(len(ids)) * p.Opt.SensitivityDelta)
+		if n == 0 && len(ids) > 0 {
+			n = 1
+		}
+		for _, id := range ids[:n] {
+			tp.Mask().Keep[id] = false
+		}
+		tp.ApplyMask()
+		drop := base - nn.Accuracy(trial, subset)
+		if drop < 0 {
+			drop = 0
+		}
+		sens[i] = drop
+	}
+	return sens
+}
+
+// selectGamma implements guideline 1: rank layers by sensitivity in
+// decreasing order, map rank i (1 = most sensitive) to i·Γ̂/n, and select
+// the ratio mapped to the layer with the highest criterion score.
+func (p *Pruner) selectGamma(scores, sens []float64) float64 {
+	n := len(scores)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sens[order[a]] > sens[order[b]] })
+	rank := make([]int, n) // rank[layer] = 1-based sensitivity rank
+	for pos, layer := range order {
+		rank[layer] = pos + 1
+	}
+	top := 0
+	for i := 1; i < n; i++ {
+		if scores[i] > scores[top] {
+			top = i
+		}
+	}
+	return float64(rank[top]) * p.Opt.GammaHat / float64(n)
+}

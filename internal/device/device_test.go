@@ -1,0 +1,54 @@
+package device
+
+import "testing"
+
+func TestProfileSanity(t *testing.T) {
+	p := MSP430FR5994()
+	if p.VMBytes != 8*1024 || p.NVMBytes != 512*1024 {
+		t.Errorf("memory sizes wrong: VM=%d NVM=%d", p.VMBytes, p.NVMBytes)
+	}
+	if p.MACTime <= 0 || p.NVMWritePerByte <= 0 || p.BasePower <= 0 {
+		t.Error("profile has non-positive constants")
+	}
+	// The core ratio the paper depends on: writing one Q15 output (2 B)
+	// must cost more time than the handful of MACs that produced it.
+	writeOne := 2 * p.NVMWritePerByte
+	macsPerOutput := 9.0 // conv 3x3 window
+	if writeOne <= macsPerOutput*p.MACTime {
+		t.Errorf("NVM write (%g) must dominate %g MACs (%g) for intermittent inference to be write-bound",
+			writeOne, macsPerOutput, macsPerOutput*p.MACTime)
+	}
+}
+
+func TestTransferTimeMonotone(t *testing.T) {
+	p := MSP430FR5994()
+	if p.TransferTime(0, true) <= 0 {
+		t.Error("zero-byte transfer still pays invocation overhead")
+	}
+	if p.TransferTime(100, true) <= p.TransferTime(10, true) {
+		t.Error("transfer time must grow with size")
+	}
+	if p.TransferTime(100, true) <= p.TransferTime(100, false) {
+		t.Error("writes are slower than reads in this profile")
+	}
+}
+
+func TestTransferEnergyOf(t *testing.T) {
+	p := MSP430FR5994()
+	if p.TransferEnergyOf(100, true) <= p.TransferEnergyOf(100, false) {
+		t.Error("write energy per byte exceeds read energy in this profile")
+	}
+	if p.TransferEnergyOf(0, false) != p.TransferEnergy {
+		t.Error("zero-byte transfer energy should equal setup energy")
+	}
+}
+
+func TestComputeCosts(t *testing.T) {
+	p := MSP430FR5994()
+	if p.ComputeTime(1000) != 1000*p.MACTime {
+		t.Error("ComputeTime not linear")
+	}
+	if p.ComputeEnergy(1000) != 1000*p.MACEnergy {
+		t.Error("ComputeEnergy not linear")
+	}
+}

@@ -1,0 +1,178 @@
+// Package fixed implements the 16-bit fixed-point arithmetic used when
+// deploying pruned models on the simulated MSP430-class device.
+//
+// The paper quantizes model parameters from 32-bit floating point to a
+// 16-bit fixed-point representation for on-device inference (Section IV-A).
+// We implement the common Q1.15 layout (one sign bit, fifteen fractional
+// bits, values in [-1, 1)) plus per-tensor power-of-two scaling, which is
+// how the TI DSP library and the LEA coprocessor operate on fractional
+// data: values outside [-1, 1) are stored pre-divided by 2^shift and the
+// shift is folded back after accumulation.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// FracBits is the number of fractional bits in the Q1.15 format.
+const FracBits = 15
+
+// One is the Q1.15 encoding of the largest representable value just
+// below +1.0.
+const One = 1<<FracBits - 1 // 0x7FFF
+
+// MinVal is the Q1.15 encoding of -1.0.
+const MinVal = -1 << FracBits // -0x8000
+
+// Q15 is a 16-bit fixed-point value with 15 fractional bits.
+type Q15 int16
+
+// FromFloat converts a float to Q1.15 with saturation and
+// round-to-nearest. NaN converts to zero.
+func FromFloat(f float64) Q15 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	v := math.Round(f * (1 << FracBits))
+	if v > One {
+		return Q15(One)
+	}
+	if v < MinVal {
+		return Q15(MinVal)
+	}
+	return Q15(v)
+}
+
+// Float converts a Q1.15 value back to float64.
+func (q Q15) Float() float64 {
+	return float64(q) / (1 << FracBits)
+}
+
+// Add returns a+b with saturation.
+func Add(a, b Q15) Q15 {
+	s := int32(a) + int32(b)
+	return sat32(s)
+}
+
+// Sub returns a-b with saturation.
+func Sub(a, b Q15) Q15 {
+	s := int32(a) - int32(b)
+	return sat32(s)
+}
+
+// Mul returns the Q1.15 product of a and b with rounding and saturation.
+// The intermediate product has 30 fractional bits; we add the rounding
+// constant before shifting back to 15.
+func Mul(a, b Q15) Q15 {
+	p := int64(a) * int64(b)
+	p += 1 << (FracBits - 1) // round half up
+	return sat32(int32(p >> FracBits))
+}
+
+// MACAcc multiplies a and b and adds the full-precision product into a
+// 32-bit accumulator, mirroring how the LEA keeps partial sums in a wide
+// register before writing the narrowed result back. The accumulator holds
+// values with 30 fractional bits.
+func MACAcc(acc int64, a, b Q15) int64 {
+	return acc + int64(a)*int64(b)
+}
+
+// NarrowAcc converts a 30-fractional-bit accumulator back to Q1.15 with
+// rounding and saturation, applying an additional right shift (used to
+// undo per-tensor scaling).
+func NarrowAcc(acc int64, shift uint) int64r {
+	return int64r{acc, shift}
+}
+
+// int64r is a tiny helper carrying the accumulator and shift so Result can
+// round exactly once.
+type int64r struct {
+	acc   int64
+	shift uint
+}
+
+// Result performs the rounding shift and saturation.
+func (r int64r) Result() Q15 {
+	total := FracBits + r.shift
+	v := r.acc
+	if total > 0 {
+		v += 1 << (total - 1)
+		v >>= total
+	}
+	if v > One {
+		return Q15(One)
+	}
+	if v < MinVal {
+		return Q15(MinVal)
+	}
+	return Q15(v)
+}
+
+func sat32(s int32) Q15 {
+	if s > One {
+		return Q15(One)
+	}
+	if s < MinVal {
+		return Q15(MinVal)
+	}
+	return Q15(s)
+}
+
+// DotQ15 computes the saturating Q1.15 dot product of two equal-length
+// vectors using a wide accumulator, the primitive the LEA vector-MAC
+// command implements.
+func DotQ15(a, b []Q15) Q15 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("fixed: dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var acc int64
+	for i := range a {
+		acc += int64(a[i]) * int64(b[i])
+	}
+	return int64r{acc, 0}.Result()
+}
+
+// Tensor is a quantized tensor: Q1.15 data plus a power-of-two scale.
+// Real value = Data[i] * 2^Shift / 2^15.
+type Tensor struct {
+	Data  []Q15
+	Shift int // power-of-two pre-division applied before quantization
+}
+
+// QuantizeSlice converts a float32 slice into a Q15 tensor, choosing the
+// smallest power-of-two shift that brings every value into [-1, 1).
+func QuantizeSlice(src []float32) Tensor {
+	maxAbs := 0.0
+	for _, v := range src {
+		a := math.Abs(float64(v))
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	shift := 0
+	for maxAbs >= 1.0 {
+		maxAbs /= 2
+		shift++
+	}
+	scale := math.Pow(2, -float64(shift))
+	out := Tensor{Data: make([]Q15, len(src)), Shift: shift}
+	for i, v := range src {
+		out.Data[i] = FromFloat(float64(v) * scale)
+	}
+	return out
+}
+
+// Dequantize returns the float32 values represented by the tensor.
+func (t Tensor) Dequantize() []float32 {
+	out := make([]float32, len(t.Data))
+	scale := math.Pow(2, float64(t.Shift))
+	for i, q := range t.Data {
+		out[i] = float32(q.Float() * scale)
+	}
+	return out
+}
+
+// SizeBytes reports the storage footprint of the quantized payload
+// (2 bytes per element), excluding any sparse indexing structures.
+func (t Tensor) SizeBytes() int { return 2 * len(t.Data) }

@@ -1,0 +1,171 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFloatRoundTrip(t *testing.T) {
+	cases := []float64{0, 0.5, -0.5, 0.25, -0.99, 0.999, 1.0 / 3.0}
+	for _, f := range cases {
+		q := FromFloat(f)
+		got := q.Float()
+		if math.Abs(got-f) > 1.0/(1<<FracBits) {
+			t.Errorf("round trip %v -> %v: error too large", f, got)
+		}
+	}
+}
+
+func TestFromFloatSaturates(t *testing.T) {
+	if FromFloat(2.0) != One {
+		t.Errorf("FromFloat(2.0) = %d, want %d", FromFloat(2.0), One)
+	}
+	if FromFloat(-2.0) != MinVal {
+		t.Errorf("FromFloat(-2.0) = %d, want %d", FromFloat(-2.0), MinVal)
+	}
+	if FromFloat(math.NaN()) != 0 {
+		t.Errorf("FromFloat(NaN) = %d, want 0", FromFloat(math.NaN()))
+	}
+}
+
+func TestAddSaturates(t *testing.T) {
+	if Add(Q15(One), Q15(One)) != One {
+		t.Error("positive add should saturate at One")
+	}
+	if Add(Q15(MinVal), Q15(MinVal)) != MinVal {
+		t.Error("negative add should saturate at MinVal")
+	}
+	if Add(FromFloat(0.25), FromFloat(0.5)) != FromFloat(0.75) {
+		t.Error("0.25+0.5 != 0.75")
+	}
+}
+
+func TestSub(t *testing.T) {
+	if Sub(FromFloat(0.5), FromFloat(0.25)) != FromFloat(0.25) {
+		t.Error("0.5-0.25 != 0.25")
+	}
+	if Sub(Q15(MinVal), Q15(One)) != MinVal {
+		t.Error("sub should saturate at MinVal")
+	}
+}
+
+func TestMul(t *testing.T) {
+	got := Mul(FromFloat(0.5), FromFloat(0.5)).Float()
+	if math.Abs(got-0.25) > 1e-4 {
+		t.Errorf("0.5*0.5 = %v, want 0.25", got)
+	}
+	got = Mul(FromFloat(-0.5), FromFloat(0.5)).Float()
+	if math.Abs(got+0.25) > 1e-4 {
+		t.Errorf("-0.5*0.5 = %v, want -0.25", got)
+	}
+	// -1 * -1 must saturate to just below +1, not wrap.
+	if Mul(Q15(MinVal), Q15(MinVal)) != One {
+		t.Error("(-1)*(-1) should saturate at One")
+	}
+}
+
+func TestMulPropertyNoWrap(t *testing.T) {
+	f := func(a, b int16) bool {
+		p := Mul(Q15(a), Q15(b)).Float()
+		exact := Q15(a).Float() * Q15(b).Float()
+		return math.Abs(p-exact) <= 1.0/(1<<FracBits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddCommutativeProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		return Add(Q15(a), Q15(b)) == Add(Q15(b), Q15(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDotQ15(t *testing.T) {
+	a := []Q15{FromFloat(0.5), FromFloat(0.25), FromFloat(-0.5)}
+	b := []Q15{FromFloat(0.5), FromFloat(0.5), FromFloat(0.25)}
+	got := DotQ15(a, b).Float()
+	want := 0.5*0.5 + 0.25*0.5 - 0.5*0.25
+	if math.Abs(got-want) > 1e-4 {
+		t.Errorf("dot = %v, want %v", got, want)
+	}
+}
+
+func TestDotQ15MismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	DotQ15(make([]Q15, 2), make([]Q15, 3))
+}
+
+func TestQuantizeSliceShift(t *testing.T) {
+	src := []float32{3.5, -2.0, 0.5}
+	qt := QuantizeSlice(src)
+	if qt.Shift != 2 {
+		t.Errorf("shift = %d, want 2 (max |3.5| needs /4)", qt.Shift)
+	}
+	back := qt.Dequantize()
+	for i := range src {
+		if math.Abs(float64(back[i]-src[i])) > 4.0/(1<<FracBits) {
+			t.Errorf("dequantize[%d] = %v, want ~%v", i, back[i], src[i])
+		}
+	}
+}
+
+func TestQuantizeSliceInRange(t *testing.T) {
+	src := []float32{0.1, -0.9, 0.999}
+	qt := QuantizeSlice(src)
+	if qt.Shift != 0 {
+		t.Errorf("shift = %d, want 0 for in-range data", qt.Shift)
+	}
+	if qt.SizeBytes() != 6 {
+		t.Errorf("SizeBytes = %d, want 6", qt.SizeBytes())
+	}
+}
+
+func TestQuantizeRoundTripProperty(t *testing.T) {
+	f := func(raw []float32) bool {
+		// Clamp the fuzz input into a sane magnitude window; quantization
+		// is only specified for finite values.
+		src := make([]float32, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				v = 0
+			}
+			if v > 100 {
+				v = 100
+			}
+			if v < -100 {
+				v = -100
+			}
+			src[i] = v
+		}
+		qt := QuantizeSlice(src)
+		back := qt.Dequantize()
+		tol := math.Pow(2, float64(qt.Shift)) / (1 << FracBits)
+		for i := range src {
+			if math.Abs(float64(back[i]-src[i])) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNarrowAccShift(t *testing.T) {
+	// 0.5 * 0.5 accumulated once, with shift 1 applied -> 0.125.
+	acc := MACAcc(0, FromFloat(0.5), FromFloat(0.5))
+	got := NarrowAcc(acc, 1).Result().Float()
+	if math.Abs(got-0.125) > 1e-4 {
+		t.Errorf("narrow with shift = %v, want 0.125", got)
+	}
+}

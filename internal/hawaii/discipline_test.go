@@ -1,0 +1,98 @@
+package hawaii
+
+import (
+	"testing"
+
+	"iprune/internal/power"
+	"iprune/internal/tile"
+)
+
+func TestTaskScheduleConservesWork(t *testing.T) {
+	// Task-level preservation changes *when* results are written, not how
+	// much is computed: MACs, jobs and output bytes must match the
+	// job-level schedule exactly.
+	net, specs, cfg := buildNet(30)
+	pruneSome(net, 3)
+	jobOps := ScheduleFromNetwork(net, specs, tile.Intermittent, cfg)
+	tasks := TaskScheduleFromNetwork(net, specs, cfg)
+	var jm, jj, jo, tm, tj, to int64
+	for _, op := range jobOps {
+		jm += op.MACs
+		jj += op.Jobs
+		jo += op.OutWrite
+	}
+	for _, task := range tasks {
+		tm += task.MACs
+		tj += task.Jobs
+		to += task.OutWrite
+		if !task.SerialWrite {
+			t.Fatal("task missing SerialWrite")
+		}
+	}
+	if jm != tm || jj != tj || jo != to {
+		t.Errorf("work not conserved: MACs %d/%d jobs %d/%d out %d/%d", jm, tm, jj, tj, jo, to)
+	}
+	if len(tasks) >= len(jobOps) {
+		t.Errorf("tasks (%d) should be coarser than ops (%d)", len(tasks), len(jobOps))
+	}
+}
+
+func TestTaskScheduleFewerPreservationTransactions(t *testing.T) {
+	// The coarse discipline's advantage is fewer preservation commits
+	// (one per task instead of one per op); each commit's indicator is
+	// bigger (loop indices vs a job counter), so bytes may not shrink but
+	// transaction count must.
+	net, specs, cfg := buildNet(31)
+	jobOps := ScheduleFromNetwork(net, specs, tile.Intermittent, cfg)
+	tasks := TaskScheduleFromNetwork(net, specs, cfg)
+	if len(tasks) >= len(jobOps) {
+		t.Errorf("task commits (%d) should undercut op commits (%d)", len(tasks), len(jobOps))
+	}
+}
+
+func TestTaskLevelLosesUnderWeakPower(t *testing.T) {
+	// The design trade-off the HAWAII lineage demonstrates: coarse tasks
+	// pay more re-execution per failure, so under weak harvested power
+	// the job-level discipline wins end-to-end latency.
+	net, specs, cfg := buildNet(32)
+	cs := NewCostSim(cfg)
+	jobOps := ScheduleFromNetwork(net, specs, tile.Intermittent, cfg)
+	tasks := TaskScheduleFromNetwork(net, specs, cfg)
+	job := cs.Run(jobOps, tile.Intermittent, power.WeakPower, 1)
+	task := cs.Run(tasks, tile.Intermittent, power.WeakPower, 1)
+	if task.Latency <= job.Latency {
+		t.Errorf("task-level %.4fs should be slower than job-level %.4fs under weak power",
+			task.Latency, job.Latency)
+	}
+	if task.Break.RecoveryTime <= job.Break.RecoveryTime {
+		t.Errorf("task-level recovery %.4fs should exceed job-level %.4fs",
+			task.Break.RecoveryTime, job.Break.RecoveryTime)
+	}
+}
+
+func TestTaskLevelCompletesUnderContinuousPower(t *testing.T) {
+	net, specs, cfg := buildNet(33)
+	cs := NewCostSim(cfg)
+	tasks := TaskScheduleFromNetwork(net, specs, cfg)
+	res := cs.Run(tasks, tile.Intermittent, power.ContinuousPower, 1)
+	if res.Failures != 0 || res.Latency <= 0 {
+		t.Errorf("continuous task run: failures=%d latency=%v", res.Failures, res.Latency)
+	}
+}
+
+func TestTaskScheduleSkipsPrunedPanels(t *testing.T) {
+	net, specs, cfg := buildNet(34)
+	before := len(TaskScheduleFromNetwork(net, specs, cfg))
+	// Prune every block of the first k-panel of the first layer.
+	p := net.Prunables()[0]
+	m := p.Mask()
+	bcs := m.BlockCols()
+	for br := 0; br < m.BlockRows(); br++ {
+		m.Keep[br*bcs] = false
+	}
+	p.ApplyMask()
+	after := len(TaskScheduleFromNetwork(net, specs, cfg))
+	if after >= before {
+		t.Errorf("pruned panel not skipped: %d -> %d tasks", before, after)
+	}
+}

@@ -1,0 +1,98 @@
+package hawaii
+
+import (
+	"testing"
+
+	"iprune/internal/dataset"
+	"iprune/internal/models"
+	"iprune/internal/power"
+	"iprune/internal/tile"
+)
+
+// The functional engine must execute every paper model end to end and
+// survive failure injection with bit-identical results — on the real
+// architectures, not just the test net.
+func TestEngineRunsPaperModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-model functional inference")
+	}
+	type app struct {
+		name    string
+		samples func() *dataset.Dataset
+	}
+	apps := []app{
+		{"HAR", func() *dataset.Dataset {
+			return dataset.HAR(dataset.Config{Train: 4, Test: 2, Noise: 0.5}, 1)
+		}},
+		{"CKS", func() *dataset.Dataset {
+			return dataset.Speech(dataset.Config{Train: 4, Test: 2, Noise: 0.5}, 1)
+		}},
+		{"SQN", func() *dataset.Dataset {
+			return dataset.Images(dataset.Config{Train: 4, Test: 2, Noise: 0.5}, 1)
+		}},
+	}
+	cfg := tile.DefaultConfig()
+	for _, a := range apps {
+		net, err := models.ByName(a.name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs := tile.SpecsFromNetwork(net, cfg)
+		tile.InstallMasks(net, specs)
+		// Prune a third of each layer so BSR skipping is exercised.
+		for _, p := range net.Prunables() {
+			m := p.Mask()
+			for b := 0; b < m.NumBlocks(); b += 3 {
+				m.Keep[b] = false
+			}
+			p.ApplyMask()
+		}
+		eng, err := NewEngine(net, specs, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", a.name, err)
+		}
+		ds := a.samples()
+		eng.Calibrate(ds.Train)
+		clean, err := eng.Infer(ds.Test[0].X, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", a.name, err)
+		}
+		faulty, err := eng.Infer(ds.Test[0].X, &EveryN{N: 97})
+		if err != nil {
+			t.Fatalf("%s faulty: %v", a.name, err)
+		}
+		if faulty.Stats.Failures == 0 {
+			t.Errorf("%s: injector produced no failures over %d ops", a.name, clean.Stats.Ops)
+		}
+		for i := range clean.Logits {
+			if clean.Logits[i] != faulty.Logits[i] {
+				t.Fatalf("%s: failure injection changed logit %d", a.name, i)
+			}
+		}
+		// Committed jobs must match the analytic criterion.
+		want := tile.CountNetwork(net, specs, tile.Intermittent, cfg).Jobs
+		if clean.Stats.Jobs != want {
+			t.Errorf("%s: engine jobs %d != analytic %d", a.name, clean.Stats.Jobs, want)
+		}
+	}
+}
+
+// The cost simulator must reproduce the paper's power-cycle magnitudes on
+// the real models: dozens to a few hundreds of cycles per inference.
+func TestPaperModelsPowerCycleCounts(t *testing.T) {
+	cfg := tile.DefaultConfig()
+	for _, name := range models.Names() {
+		net, err := models.ByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs := tile.SpecsFromNetwork(net, cfg)
+		tile.InstallMasks(net, specs)
+		cs := NewCostSim(cfg)
+		res := cs.RunNetwork(net, specs, tile.Intermittent, power.StrongPower, 1)
+		if res.Failures < 12 || res.Failures > 3000 {
+			t.Errorf("%s: %d power cycles under strong power; paper reports dozens to a few hundreds",
+				name, res.Failures)
+		}
+	}
+}

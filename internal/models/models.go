@@ -1,0 +1,139 @@
+// Package models defines the three TinyML networks of the paper's
+// Table II, sized to match the reported footprints when quantized to
+// 16-bit weights:
+//
+//	SQN — image recognition, 11 CONV + 2 POOL, ~147 KB, SqueezeNet-style
+//	      squeeze/expand pairs on 3×32×32 inputs, 10 classes;
+//	HAR — human-activity detection, 3 CONV + 3 POOL + 1 FC, ~28 KB,
+//	      1-D convolutions over 3-axis × 128-step windows, 6 classes;
+//	CKS — speech keyword spotting, 2 CONV + 3 FC, ~131 KB, over 10×49
+//	      MFCC maps, 12 classes.
+//
+// The architectures also reproduce Table II's layer-diversity ordering:
+// SQN's fire modules give similar per-layer accelerator-output counts
+// (low diversity), HAR mixes mid-size convolutions with one FC (medium),
+// and CKS concentrates almost all accelerator outputs in its second
+// convolution while its FCs hold most of the weights (high diversity).
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iprune/internal/nn"
+	"iprune/internal/tensor"
+)
+
+// conv is a small helper for building padded square-kernel conv layers.
+func conv(name string, rng *rand.Rand, inC, inH, inW, outC, k, pad int) *nn.Conv2D {
+	return nn.NewConv2D(name, tensor.ConvGeom{
+		InC: inC, InH: inH, InW: inW, OutC: outC,
+		KH: k, KW: k, StrideH: 1, StrideW: 1, PadH: pad, PadW: pad,
+	}, rng)
+}
+
+// SQN builds the image-recognition network (11 CONV, 2 POOL).
+func SQN(seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	n := nn.NewNetwork("SQN", 10)
+	// conv1 + pool: 3×32×32 → 16×16×16.
+	n.Add(conv("conv1", rng, 3, 32, 32, 16, 3, 1)).Add(nn.NewReLU("relu1"))
+	n.Add(nn.NewMaxPool2D("pool1", 16, 32, 32, 2, 2))
+	// Fire modules at 16×16: squeeze (1×1) then expand (3×3).
+	n.Add(conv("fire1_sq", rng, 16, 16, 16, 8, 1, 0)).Add(nn.NewReLU("relu2"))
+	n.Add(conv("fire1_ex", rng, 8, 16, 16, 20, 3, 1)).Add(nn.NewReLU("relu3"))
+	n.Add(conv("fire2_sq", rng, 20, 16, 16, 12, 1, 0)).Add(nn.NewReLU("relu4"))
+	n.Add(conv("fire2_ex", rng, 12, 16, 16, 28, 3, 1)).Add(nn.NewReLU("relu5"))
+	n.Add(nn.NewMaxPool2D("pool2", 28, 16, 16, 2, 2))
+	// Fire modules at 8×8.
+	n.Add(conv("fire3_sq", rng, 28, 8, 8, 20, 1, 0)).Add(nn.NewReLU("relu6"))
+	n.Add(conv("fire3_ex", rng, 20, 8, 8, 48, 3, 1)).Add(nn.NewReLU("relu7"))
+	n.Add(conv("fire4_sq", rng, 48, 8, 8, 32, 1, 0)).Add(nn.NewReLU("relu8"))
+	n.Add(conv("fire4_ex", rng, 32, 8, 8, 72, 3, 1)).Add(nn.NewReLU("relu9"))
+	// Head: one 3×3 feature conv and the 1×1 classifier conv, then GAP.
+	n.Add(conv("conv10", rng, 72, 8, 8, 56, 3, 1)).Add(nn.NewReLU("relu10"))
+	n.Add(conv("conv11", rng, 56, 8, 8, 10, 1, 0))
+	n.Add(nn.NewGlobalAvgPool("gap", 10, 8, 8))
+	return n
+}
+
+// HAR builds the activity-detection network (3 CONV, 3 POOL, 1 FC) over
+// 3×1×128 accelerometer windows.
+func HAR(seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	n := nn.NewNetwork("HAR", 6)
+	c1 := nn.NewConv2D("conv1", tensor.ConvGeom{
+		InC: 3, InH: 1, InW: 128, OutC: 12,
+		KH: 1, KW: 9, StrideH: 1, StrideW: 1, PadW: 4,
+	}, rng)
+	n.Add(c1).Add(nn.NewReLU("relu1"))
+	n.Add(nn.NewMaxPool2DRect("pool1", 12, 1, 128, 1, 2, 1, 2))
+	c2 := nn.NewConv2D("conv2", tensor.ConvGeom{
+		InC: 12, InH: 1, InW: 64, OutC: 20,
+		KH: 1, KW: 9, StrideH: 1, StrideW: 1, PadW: 4,
+	}, rng)
+	n.Add(c2).Add(nn.NewReLU("relu2"))
+	n.Add(nn.NewMaxPool2DRect("pool2", 20, 1, 64, 1, 2, 1, 2))
+	c3 := nn.NewConv2D("conv3", tensor.ConvGeom{
+		InC: 20, InH: 1, InW: 32, OutC: 48,
+		KH: 1, KW: 9, StrideH: 1, StrideW: 1, PadW: 4,
+	}, rng)
+	n.Add(c3).Add(nn.NewReLU("relu3"))
+	n.Add(nn.NewMaxPool2DRect("pool3", 48, 1, 32, 1, 2, 1, 2))
+	n.Add(nn.NewFlatten("flat"))
+	n.Add(nn.NewFC("fc1", 48*16, 6, rng))
+	return n
+}
+
+// CKS builds the keyword-spotting network (2 CONV, 3 FC) over 1×10×49
+// MFCC maps.
+func CKS(seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	n := nn.NewNetwork("CKS", 12)
+	c1 := nn.NewConv2D("conv1", tensor.ConvGeom{
+		InC: 1, InH: 10, InW: 49, OutC: 48,
+		KH: 8, KW: 4, StrideH: 1, StrideW: 1,
+	}, rng) // out 48×3×46
+	n.Add(c1).Add(nn.NewReLU("relu1"))
+	c2 := nn.NewConv2D("conv2", tensor.ConvGeom{
+		InC: 48, InH: 3, InW: 46, OutC: 32,
+		KH: 3, KW: 4, StrideH: 1, StrideW: 1,
+	}, rng) // out 32×1×43
+	n.Add(c2).Add(nn.NewReLU("relu2"))
+	n.Add(nn.NewFlatten("flat"))
+	n.Add(nn.NewFC("fc1", 32*43, 32, rng)).Add(nn.NewReLU("relu3"))
+	n.Add(nn.NewFC("fc2", 32, 16, rng)).Add(nn.NewReLU("relu4"))
+	n.Add(nn.NewFC("fc3", 16, 12, rng))
+	return n
+}
+
+// Names lists the available model builders in paper order.
+func Names() []string { return []string{"SQN", "HAR", "CKS"} }
+
+// ByName builds a model by its Table II name.
+func ByName(name string, seed int64) (*nn.Network, error) {
+	switch name {
+	case "SQN":
+		return SQN(seed), nil
+	case "HAR":
+		return HAR(seed), nil
+	case "CKS":
+		return CKS(seed), nil
+	default:
+		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+	}
+}
+
+// InputShape returns the model's expected input tensor shape.
+func InputShape(name string) ([]int, error) {
+	switch name {
+	case "SQN":
+		return []int{3, 32, 32}, nil
+	case "HAR":
+		return []int{3, 1, 128}, nil
+	case "CKS":
+		return []int{1, 10, 49}, nil
+	default:
+		return nil, fmt.Errorf("models: unknown model %q", name)
+	}
+}

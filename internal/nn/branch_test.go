@@ -1,0 +1,178 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"iprune/internal/tensor"
+)
+
+// fireNet builds a SqueezeNet-style fire module: squeeze 1×1 feeding
+// parallel 1×1 and 3×3 expands that concatenate.
+func fireNet(rng *rand.Rand) *Network {
+	n := NewNetwork("fire", 3)
+	n.Add(NewConv2D("squeeze", tensor.ConvGeom{InC: 2, InH: 6, InW: 6, OutC: 4, KH: 1, KW: 1, StrideH: 1, StrideW: 1}, rng))
+	n.Add(NewReLU("r0"))
+	n.Add(NewBranch("expand",
+		[]Layer{NewConv2D("e1x1", tensor.ConvGeom{InC: 4, InH: 6, InW: 6, OutC: 3, KH: 1, KW: 1, StrideH: 1, StrideW: 1}, rng), NewReLU("r1")},
+		[]Layer{NewConv2D("e3x3", tensor.ConvGeom{InC: 4, InH: 6, InW: 6, OutC: 5, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, rng), NewReLU("r2")},
+	))
+	n.Add(NewGlobalAvgPool("gap", 8, 6, 6))
+	n.Add(NewFC("fc", 8, 3, rng))
+	return n
+}
+
+func TestBranchForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := fireNet(rng)
+	out := n.Forward(tensor.New(2, 6, 6))
+	if out.Len() != 3 {
+		t.Fatalf("logits = %d, want 3", out.Len())
+	}
+}
+
+func TestBranchConcatOrder(t *testing.T) {
+	// The first path's channels must occupy the leading block of the
+	// concatenated output.
+	rng := rand.New(rand.NewSource(2))
+	b := NewBranch("b",
+		[]Layer{NewConv2D("p0", tensor.ConvGeom{InC: 1, InH: 2, InW: 2, OutC: 1, KH: 1, KW: 1, StrideH: 1, StrideW: 1}, rng)},
+		[]Layer{NewConv2D("p1", tensor.ConvGeom{InC: 1, InH: 2, InW: 2, OutC: 1, KH: 1, KW: 1, StrideH: 1, StrideW: 1}, rng)},
+	)
+	p0 := b.Paths[0][0].(*Conv2D)
+	p1 := b.Paths[1][0].(*Conv2D)
+	p0.W.Data[0], p0.B.Data[0] = 1, 0 // identity
+	p1.W.Data[0], p1.B.Data[0] = 2, 0 // doubling
+	in := tensor.FromData([]float32{1, 2, 3, 4}, 1, 2, 2)
+	out := b.Forward(in)
+	if out.Shape[0] != 2 {
+		t.Fatalf("concat channels = %d, want 2", out.Shape[0])
+	}
+	if out.Data[0] != 1 || out.Data[4] != 2 {
+		t.Errorf("concat order wrong: %v", out.Data)
+	}
+}
+
+func TestBranchGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := fireNet(rng)
+	in := tensor.New(2, 6, 6)
+	for i := range in.Data {
+		in.Data[i] = rng.Float32()*2 - 1
+	}
+	n.ZeroGrads()
+	n.LossBackward(in, 1)
+	branch := n.Layers[2].(*Branch)
+	for pi, path := range branch.Paths {
+		conv := path[0].(*Conv2D)
+		for _, i := range []int{0, len(conv.W.Data) / 2, len(conv.W.Data) - 1} {
+			want := numericalGrad(n, in, 1, conv.W, i)
+			got := float64(conv.W.Grad[i])
+			if math.Abs(got-want) > 1e-2*math.Max(1, math.Abs(want)) {
+				t.Errorf("path %d grad[%d] = %v, want %v", pi, i, got, want)
+			}
+		}
+	}
+	// The squeeze conv (upstream of the branch) must receive gradients
+	// from both paths.
+	sq := n.Layers[0].(*Conv2D)
+	var nonzero int
+	for _, g := range sq.W.Grad {
+		if g != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Error("no gradient flowed through the branch to the squeeze conv")
+	}
+	for _, i := range []int{0, len(sq.W.Data) - 1} {
+		want := numericalGrad(n, in, 1, sq.W, i)
+		got := float64(sq.W.Grad[i])
+		if math.Abs(got-want) > 1e-2*math.Max(1, math.Abs(want)) {
+			t.Errorf("squeeze grad[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestBranchPrunablesRecursion(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := fireNet(rng)
+	pr := n.Prunables()
+	if len(pr) != 4 {
+		t.Fatalf("Prunables = %d, want 4 (squeeze + 2 expands + fc)", len(pr))
+	}
+	counts := n.LayerCounts()
+	if counts["CONV"] != 3 || counts["FC"] != 1 {
+		t.Errorf("LayerCounts = %v, want 3 CONV + 1 FC", counts)
+	}
+}
+
+func TestBranchMaskedTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := fireNet(rng)
+	// Install masks on all prunables and prune one block inside a path.
+	for _, p := range n.Prunables() {
+		_, rows, cols := p.WeightMatrix()
+		p.InitBlocks(min(2, rows), min(4, cols))
+	}
+	inner := n.Prunables()[2] // e3x3
+	inner.Mask().Keep[0] = false
+	inner.ApplyMask()
+	var samples []Sample
+	for i := 0; i < 12; i++ {
+		x := tensor.New(2, 6, 6)
+		for j := range x.Data {
+			x.Data[j] = rng.Float32()
+		}
+		samples = append(samples, Sample{X: x, Label: i % 3})
+	}
+	opt := NewSGD(0.05, 0.9)
+	for e := 0; e < 3; e++ {
+		TrainEpoch(n, samples, opt, 4, rng)
+	}
+	w, _, cols := inner.WeightMatrix()
+	r0, r1, c0, c1 := inner.Mask().BlockBounds(0)
+	for r := r0; r < r1; r++ {
+		for c := c0; c < c1; c++ {
+			if w[r*cols+c] != 0 {
+				t.Fatal("pruned block inside a branch path resurrected by training")
+			}
+		}
+	}
+}
+
+func TestBranchCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := fireNet(rng)
+	c := n.Clone()
+	orig := n.Layers[2].(*Branch).Paths[0][0].(*Conv2D)
+	clone := c.Layers[2].(*Branch).Paths[0][0].(*Conv2D)
+	clone.W.Data[0] = 123
+	if orig.W.Data[0] == 123 {
+		t.Error("branch clone shares path weights")
+	}
+}
+
+func TestBranchValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for single-path branch")
+		}
+	}()
+	NewBranch("bad", []Layer{NewReLU("r")})
+}
+
+func TestBranchSpatialMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBranch("b",
+		[]Layer{NewConv2D("p0", tensor.ConvGeom{InC: 1, InH: 4, InW: 4, OutC: 1, KH: 1, KW: 1, StrideH: 1, StrideW: 1}, rng)},
+		[]Layer{NewMaxPool2D("p1", 1, 4, 4, 2, 2)},
+	)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched path spatial sizes")
+		}
+	}()
+	b.Forward(tensor.New(1, 4, 4))
+}

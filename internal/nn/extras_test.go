@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"iprune/internal/tensor"
+)
+
+func TestAvgPool2DForward(t *testing.T) {
+	l := NewAvgPool2D("a", 1, 4, 4, 2, 2)
+	in := tensor.FromData([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4)
+	out := l.Forward(in)
+	want := []float32{3.5, 5.5, 11.5, 13.5}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("avg pool out = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestAvgPool2DGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := NewNetwork("avg", 3)
+	n.Add(NewConv2D("c", tensor.ConvGeom{InC: 1, InH: 6, InW: 6, OutC: 3, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, rng))
+	n.Add(NewReLU("r"))
+	n.Add(NewAvgPool2D("a", 3, 6, 6, 2, 2))
+	n.Add(NewFlatten("f"))
+	n.Add(NewFC("fc", 3*3*3, 3, rng))
+	in := tensor.New(1, 6, 6)
+	for i := range in.Data {
+		in.Data[i] = rng.Float32()*2 - 1
+	}
+	n.ZeroGrads()
+	n.LossBackward(in, 2)
+	conv := n.Layers[0].(*Conv2D)
+	for _, i := range []int{0, len(conv.W.Data) / 2, len(conv.W.Data) - 1} {
+		want := numericalGrad(n, in, 2, conv.W, i)
+		got := float64(conv.W.Grad[i])
+		if math.Abs(got-want) > 1e-2*math.Max(1, math.Abs(want)) {
+			t.Errorf("grad[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAvgPool2DRectAndClone(t *testing.T) {
+	l := NewAvgPool2DRect("a", 2, 1, 8, 1, 2, 1, 2)
+	if l.OutH != 1 || l.OutW != 4 {
+		t.Fatalf("rect avg pool out = %dx%d, want 1x4", l.OutH, l.OutW)
+	}
+	c := l.Clone().(*AvgPool2D)
+	c.C = 99
+	if l.C == 99 {
+		t.Error("clone aliases original")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty pool output")
+		}
+	}()
+	NewAvgPool2D("bad", 1, 2, 2, 4, 1)
+}
+
+func TestAdamTrainsSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := buildTinyNet(rng)
+	var samples []Sample
+	for i := 0; i < 60; i++ {
+		label := i % 3
+		x := tensor.New(2, 6, 6)
+		for j := range x.Data {
+			x.Data[j] = float32(rng.NormFloat64()*0.3) + float32(label-1)
+		}
+		samples = append(samples, Sample{X: x, Label: label})
+	}
+	opt := NewAdam(0.005)
+	first := TrainEpochAdam(net, samples, opt, 8, rng)
+	var last float64
+	for e := 0; e < 5; e++ {
+		last = TrainEpochAdam(net, samples, opt, 8, rng)
+	}
+	if last >= first {
+		t.Errorf("Adam loss did not decrease: %v -> %v", first, last)
+	}
+	if acc := Accuracy(net, samples); acc < 0.9 {
+		t.Errorf("Adam accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestAdamRespectsMasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := buildTinyNet(rng)
+	conv := net.Layers[0].(*Conv2D)
+	conv.InitBlocks(1, 6)
+	conv.Mask().Keep[0] = false
+	conv.ApplyMask()
+	var samples []Sample
+	for i := 0; i < 20; i++ {
+		x := tensor.New(2, 6, 6)
+		for j := range x.Data {
+			x.Data[j] = rng.Float32()
+		}
+		samples = append(samples, Sample{X: x, Label: i % 3})
+	}
+	opt := NewAdam(0.01)
+	for e := 0; e < 3; e++ {
+		TrainEpochAdam(net, samples, opt, 4, rng)
+	}
+	_, _, cols := conv.WeightMatrix()
+	r0, r1, c0, c1 := conv.Mask().BlockBounds(0)
+	for r := r0; r < r1; r++ {
+		for c := c0; c < c1; c++ {
+			if conv.W.Data[r*cols+c] != 0 {
+				t.Fatal("Adam resurrected a pruned weight")
+			}
+		}
+	}
+}
+
+func TestAdamStepValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := buildTinyNet(rng)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero batch")
+		}
+	}()
+	NewAdam(0.01).Step(net, 0)
+}

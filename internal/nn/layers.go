@@ -1,0 +1,513 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iprune/internal/tensor"
+)
+
+// Kind distinguishes layer categories for reporting (the paper's Table II
+// counts CONV / POOL / FC layers).
+type Kind int
+
+// Layer kinds.
+const (
+	KindConv Kind = iota
+	KindFC
+	KindPool
+	KindGAP // global average pooling: a reduction, not counted as POOL in Table II
+	KindAct
+	KindFlatten
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindConv:
+		return "CONV"
+	case KindFC:
+		return "FC"
+	case KindPool:
+		return "POOL"
+	case KindGAP:
+		return "GAP"
+	case KindAct:
+		return "ACT"
+	case KindFlatten:
+		return "FLAT"
+	default:
+		return "?"
+	}
+}
+
+// Layer is a single differentiable network stage operating on one sample.
+type Layer interface {
+	Name() string
+	Kind() Kind
+	// Forward consumes a CHW (or flat) input and returns the output.
+	// Implementations may retain references to the input for backprop.
+	Forward(in *tensor.Tensor) *tensor.Tensor
+	// Backward consumes dL/dOut and returns dL/dIn, accumulating
+	// parameter gradients.
+	Backward(gradOut *tensor.Tensor) *tensor.Tensor
+	// Params returns learnable parameters (possibly empty).
+	Params() []*Param
+	// Clone returns a deep copy with independent parameters and masks.
+	Clone() Layer
+}
+
+// Prunable is implemented by layers whose weights form a GEMM matrix that
+// the pruning framework can mask at accelerator-block granularity.
+type Prunable interface {
+	Layer
+	// WeightMatrix exposes the weights as a rows×cols row-major matrix.
+	WeightMatrix() (w []float32, rows, cols int)
+	// Mask returns the block mask, or nil before InitBlocks.
+	Mask() *BlockMask
+	// InitBlocks installs a fresh all-keep mask with BM×BK blocks.
+	InitBlocks(bm, bk int)
+	// ApplyMask zeroes weights in pruned blocks (weights and mask are
+	// kept consistent after every optimizer step).
+	ApplyMask()
+}
+
+// ---------------------------------------------------------------------------
+// Conv2D
+
+// Conv2D is a 2-D convolution lowered to GEMM (weights are OutC×K with
+// K = InC·KH·KW), matching the device-side lowering so that one block
+// geometry describes both training masks and accelerator operations.
+type Conv2D struct {
+	LayerName string
+	Geom      tensor.ConvGeom
+	W         *Param // OutC × K
+	B         *Param // OutC
+	mask      *BlockMask
+
+	col  []float32 // scratch: K×N patch matrix of the last input
+	dcol []float32
+	in   *tensor.Tensor
+}
+
+// NewConv2D constructs and He-initializes a convolution layer.
+func NewConv2D(name string, g tensor.ConvGeom, rng *rand.Rand) *Conv2D {
+	if err := g.Derive(); err != nil {
+		panic(fmt.Sprintf("nn: %s: %v", name, err))
+	}
+	l := &Conv2D{LayerName: name, Geom: g}
+	l.W = NewParam(g.OutC * g.K())
+	l.B = NewParam(g.OutC)
+	l.W.HeInit(rng, g.K())
+	return l
+}
+
+// Name implements Layer.
+func (l *Conv2D) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *Conv2D) Kind() Kind { return KindConv }
+
+// Params implements Layer.
+func (l *Conv2D) Params() []*Param { return []*Param{l.W, l.B} }
+
+// WeightMatrix implements Prunable.
+func (l *Conv2D) WeightMatrix() ([]float32, int, int) {
+	return l.W.Data, l.Geom.OutC, l.Geom.K()
+}
+
+// Mask implements Prunable.
+func (l *Conv2D) Mask() *BlockMask { return l.mask }
+
+// InitBlocks implements Prunable.
+func (l *Conv2D) InitBlocks(bm, bk int) {
+	l.mask = NewBlockMask(l.Geom.OutC, l.Geom.K(), bm, bk)
+}
+
+// ApplyMask implements Prunable.
+func (l *Conv2D) ApplyMask() {
+	if l.mask != nil {
+		l.mask.Apply(l.W.Data)
+	}
+}
+
+// Forward implements Layer.
+func (l *Conv2D) Forward(in *tensor.Tensor) *tensor.Tensor {
+	g := &l.Geom
+	kn := g.K() * g.N()
+	if cap(l.col) < kn {
+		l.col = make([]float32, kn)
+	}
+	l.col = l.col[:kn]
+	tensor.Im2col(g, in.Data, l.col)
+	out := tensor.New(g.OutC, g.OutH, g.OutW)
+	tensor.Gemm(l.W.Data, l.col, out.Data, g.OutC, g.K(), g.N(), false)
+	n := g.N()
+	for oc := 0; oc < g.OutC; oc++ {
+		b := l.B.Data[oc]
+		row := out.Data[oc*n : oc*n+n]
+		for i := range row {
+			row[i] += b
+		}
+	}
+	l.in = in
+	return out
+}
+
+// Backward implements Layer.
+func (l *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	g := &l.Geom
+	n := g.N()
+	// dB
+	for oc := 0; oc < g.OutC; oc++ {
+		row := gradOut.Data[oc*n : oc*n+n]
+		var s float32
+		for _, v := range row {
+			s += v
+		}
+		l.B.Grad[oc] += s
+	}
+	// dW = dY · colᵀ  (OutC×N · N×K) — GemmTB with A=dY (OutC×N), B=col (K×N).
+	tensor.GemmTB(gradOut.Data, l.col, l.W.Grad, g.OutC, n, g.K(), true)
+	// dcol = Wᵀ · dY  (K×OutC · OutC×N) — GemmTA with A=W (OutC×K), B=dY.
+	kn := g.K() * n
+	if cap(l.dcol) < kn {
+		l.dcol = make([]float32, kn)
+	}
+	l.dcol = l.dcol[:kn]
+	tensor.GemmTA(l.W.Data, gradOut.Data, l.dcol, g.K(), g.OutC, n, false)
+	gradIn := tensor.New(g.InC, g.InH, g.InW)
+	tensor.Col2im(g, l.dcol, gradIn.Data)
+	return gradIn
+}
+
+// Clone implements Layer.
+func (l *Conv2D) Clone() Layer {
+	c := &Conv2D{LayerName: l.LayerName, Geom: l.Geom, W: l.W.Clone(), B: l.B.Clone()}
+	if l.mask != nil {
+		c.mask = l.mask.Clone()
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// FC
+
+// FC is a fully connected layer (weights Out×In).
+type FC struct {
+	LayerName string
+	In, Out   int
+	W         *Param
+	B         *Param
+	mask      *BlockMask
+	in        *tensor.Tensor
+}
+
+// NewFC constructs and He-initializes a fully connected layer.
+func NewFC(name string, in, out int, rng *rand.Rand) *FC {
+	l := &FC{LayerName: name, In: in, Out: out}
+	l.W = NewParam(out * in)
+	l.B = NewParam(out)
+	l.W.HeInit(rng, in)
+	return l
+}
+
+// Name implements Layer.
+func (l *FC) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *FC) Kind() Kind { return KindFC }
+
+// Params implements Layer.
+func (l *FC) Params() []*Param { return []*Param{l.W, l.B} }
+
+// WeightMatrix implements Prunable.
+func (l *FC) WeightMatrix() ([]float32, int, int) { return l.W.Data, l.Out, l.In }
+
+// Mask implements Prunable.
+func (l *FC) Mask() *BlockMask { return l.mask }
+
+// InitBlocks implements Prunable.
+func (l *FC) InitBlocks(bm, bk int) { l.mask = NewBlockMask(l.Out, l.In, bm, bk) }
+
+// ApplyMask implements Prunable.
+func (l *FC) ApplyMask() {
+	if l.mask != nil {
+		l.mask.Apply(l.W.Data)
+	}
+}
+
+// Forward implements Layer.
+func (l *FC) Forward(in *tensor.Tensor) *tensor.Tensor {
+	if in.Len() != l.In {
+		panic(fmt.Sprintf("nn: %s: input %d, want %d", l.LayerName, in.Len(), l.In))
+	}
+	out := tensor.New(l.Out)
+	tensor.Gemm(l.W.Data, in.Data, out.Data, l.Out, l.In, 1, false)
+	for i := range out.Data {
+		out.Data[i] += l.B.Data[i]
+	}
+	l.in = in
+	return out
+}
+
+// Backward implements Layer.
+func (l *FC) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	for i, g := range gradOut.Data {
+		l.B.Grad[i] += g
+	}
+	// dW[o][i] += gOut[o] * in[i]
+	for o, g := range gradOut.Data {
+		if g == 0 {
+			continue
+		}
+		row := l.W.Grad[o*l.In : o*l.In+l.In]
+		for i, x := range l.in.Data {
+			row[i] += g * x
+		}
+	}
+	gradIn := tensor.New(l.In)
+	tensor.GemmTA(l.W.Data, gradOut.Data, gradIn.Data, l.In, l.Out, 1, false)
+	return gradIn
+}
+
+// Clone implements Layer.
+func (l *FC) Clone() Layer {
+	c := &FC{LayerName: l.LayerName, In: l.In, Out: l.Out, W: l.W.Clone(), B: l.B.Clone()}
+	if l.mask != nil {
+		c.mask = l.mask.Clone()
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// MaxPool2D
+
+// MaxPool2D is a max pooling layer over CHW inputs.
+type MaxPool2D struct {
+	LayerName      string
+	C, InH, InW    int
+	KH, KW, SH, SW int
+	OutH, OutW     int
+	argmax         []int
+}
+
+// NewMaxPool2D constructs a square max pooling layer.
+func NewMaxPool2D(name string, c, inH, inW, k, stride int) *MaxPool2D {
+	return NewMaxPool2DRect(name, c, inH, inW, k, k, stride, stride)
+}
+
+// NewMaxPool2DRect constructs a max pooling layer with independent kernel
+// and stride per axis (1-D signals pool along width only).
+func NewMaxPool2DRect(name string, c, inH, inW, kh, kw, sh, sw int) *MaxPool2D {
+	l := &MaxPool2D{LayerName: name, C: c, InH: inH, InW: inW, KH: kh, KW: kw, SH: sh, SW: sw}
+	l.OutH = (inH-kh)/sh + 1
+	l.OutW = (inW-kw)/sw + 1
+	if l.OutH <= 0 || l.OutW <= 0 {
+		panic(fmt.Sprintf("nn: %s: pool output empty", name))
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *MaxPool2D) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *MaxPool2D) Kind() Kind { return KindPool }
+
+// Params implements Layer.
+func (l *MaxPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *MaxPool2D) Forward(in *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(l.C, l.OutH, l.OutW)
+	if cap(l.argmax) < out.Len() {
+		l.argmax = make([]int, out.Len())
+	}
+	l.argmax = l.argmax[:out.Len()]
+	oi := 0
+	for c := 0; c < l.C; c++ {
+		plane := in.Data[c*l.InH*l.InW:]
+		for oh := 0; oh < l.OutH; oh++ {
+			for ow := 0; ow < l.OutW; ow++ {
+				best := float32(0)
+				bestIdx := -1
+				for kh := 0; kh < l.KH; kh++ {
+					ih := oh*l.SH + kh
+					for kw := 0; kw < l.KW; kw++ {
+						iw := ow*l.SW + kw
+						idx := ih*l.InW + iw
+						v := plane[idx]
+						if bestIdx < 0 || v > best {
+							best, bestIdx = v, idx
+						}
+					}
+				}
+				out.Data[oi] = best
+				l.argmax[oi] = c*l.InH*l.InW + bestIdx
+				oi++
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.New(l.C, l.InH, l.InW)
+	for i, g := range gradOut.Data {
+		gradIn.Data[l.argmax[i]] += g
+	}
+	return gradIn
+}
+
+// Clone implements Layer.
+func (l *MaxPool2D) Clone() Layer {
+	c := *l
+	c.argmax = nil
+	return &c
+}
+
+// ---------------------------------------------------------------------------
+// GlobalAvgPool
+
+// GlobalAvgPool averages each channel plane to a single value.
+type GlobalAvgPool struct {
+	LayerName string
+	C, H, W   int
+}
+
+// NewGlobalAvgPool constructs a global average pooling layer.
+func NewGlobalAvgPool(name string, c, h, w int) *GlobalAvgPool {
+	return &GlobalAvgPool{LayerName: name, C: c, H: h, W: w}
+}
+
+// Name implements Layer.
+func (l *GlobalAvgPool) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *GlobalAvgPool) Kind() Kind { return KindGAP }
+
+// Params implements Layer.
+func (l *GlobalAvgPool) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *GlobalAvgPool) Forward(in *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(l.C)
+	hw := l.H * l.W
+	inv := 1 / float32(hw)
+	for c := 0; c < l.C; c++ {
+		var s float32
+		for _, v := range in.Data[c*hw : c*hw+hw] {
+			s += v
+		}
+		out.Data[c] = s * inv
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *GlobalAvgPool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.New(l.C, l.H, l.W)
+	hw := l.H * l.W
+	inv := 1 / float32(hw)
+	for c := 0; c < l.C; c++ {
+		g := gradOut.Data[c] * inv
+		row := gradIn.Data[c*hw : c*hw+hw]
+		for i := range row {
+			row[i] = g
+		}
+	}
+	return gradIn
+}
+
+// Clone implements Layer.
+func (l *GlobalAvgPool) Clone() Layer { c := *l; return &c }
+
+// ---------------------------------------------------------------------------
+// ReLU
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	LayerName string
+	mask      []bool
+}
+
+// NewReLU constructs a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{LayerName: name} }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *ReLU) Kind() Kind { return KindAct }
+
+// Params implements Layer.
+func (l *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(in *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(in.Shape...)
+	if cap(l.mask) < in.Len() {
+		l.mask = make([]bool, in.Len())
+	}
+	l.mask = l.mask[:in.Len()]
+	for i, v := range in.Data {
+		if v > 0 {
+			out.Data[i] = v
+			l.mask[i] = true
+		} else {
+			l.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.New(gradOut.Shape...)
+	for i, g := range gradOut.Data {
+		if l.mask[i] {
+			gradIn.Data[i] = g
+		}
+	}
+	return gradIn
+}
+
+// Clone implements Layer.
+func (l *ReLU) Clone() Layer { return &ReLU{LayerName: l.LayerName} }
+
+// ---------------------------------------------------------------------------
+// Flatten
+
+// Flatten reshapes a CHW tensor to a vector.
+type Flatten struct {
+	LayerName string
+	inShape   []int
+}
+
+// NewFlatten constructs a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{LayerName: name} }
+
+// Name implements Layer.
+func (l *Flatten) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *Flatten) Kind() Kind { return KindFlatten }
+
+// Params implements Layer.
+func (l *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *Flatten) Forward(in *tensor.Tensor) *tensor.Tensor {
+	l.inShape = append(l.inShape[:0], in.Shape...)
+	return tensor.FromData(in.Data, in.Len())
+}
+
+// Backward implements Layer.
+func (l *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return tensor.FromData(gradOut.Data, l.inShape...)
+}
+
+// Clone implements Layer.
+func (l *Flatten) Clone() Layer { return &Flatten{LayerName: l.LayerName} }

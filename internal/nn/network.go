@@ -1,0 +1,249 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"iprune/internal/tensor"
+)
+
+// Network is an ordered stack of layers with a softmax cross-entropy head.
+type Network struct {
+	Name    string
+	Classes int
+	Layers  []Layer
+}
+
+// NewNetwork constructs an empty network.
+func NewNetwork(name string, classes int) *Network {
+	return &Network{Name: name, Classes: classes}
+}
+
+// Add appends a layer and returns the network for chaining.
+func (n *Network) Add(l Layer) *Network {
+	n.Layers = append(n.Layers, l)
+	return n
+}
+
+// Forward runs a single sample through all layers and returns the logits.
+func (n *Network) Forward(in *tensor.Tensor) *tensor.Tensor {
+	x := in
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Softmax converts logits to probabilities (numerically stable).
+func Softmax(logits []float32) []float64 {
+	maxv := float64(logits[0])
+	for _, v := range logits[1:] {
+		if float64(v) > maxv {
+			maxv = float64(v)
+		}
+	}
+	probs := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(float64(v) - maxv)
+		probs[i] = e
+		sum += e
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return probs
+}
+
+// LossBackward computes softmax cross-entropy loss against the label and
+// backpropagates, accumulating parameter gradients. Returns the loss.
+func (n *Network) LossBackward(in *tensor.Tensor, label int) float64 {
+	logits := n.Forward(in)
+	probs := Softmax(logits.Data)
+	loss := -math.Log(math.Max(probs[label], 1e-12))
+	grad := tensor.New(len(logits.Data))
+	for i, p := range probs {
+		grad.Data[i] = float32(p)
+	}
+	grad.Data[label] -= 1
+	g := grad
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].Backward(g)
+	}
+	return loss
+}
+
+// Predict returns the argmax class for a sample.
+func (n *Network) Predict(in *tensor.Tensor) int {
+	logits := n.Forward(in)
+	best, bestIdx := logits.Data[0], 0
+	for i, v := range logits.Data[1:] {
+		if v > best {
+			best, bestIdx = v, i+1
+		}
+	}
+	return bestIdx
+}
+
+// ZeroGrads clears every parameter gradient.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			p.ZeroGrad()
+		}
+	}
+}
+
+// Walk visits every layer depth-first in network order, descending into
+// multi-path containers. All traversals that must agree on layer order
+// (prunable enumeration, spec lowering, mask installation) go through it.
+func Walk(layers []Layer, fn func(Layer)) {
+	for _, l := range layers {
+		fn(l)
+		if c, ok := l.(Container); ok {
+			Walk(c.Sublayers(), fn)
+		}
+	}
+}
+
+// ApplyMasks re-zeroes pruned blocks in every prunable layer; called after
+// each optimizer step so fine-tuning cannot resurrect pruned weights.
+func (n *Network) ApplyMasks() {
+	for _, p := range n.Prunables() {
+		p.ApplyMask()
+	}
+}
+
+// Prunables returns the prunable layers in network order, including those
+// nested inside multi-path branches.
+func (n *Network) Prunables() []Prunable {
+	var out []Prunable
+	Walk(n.Layers, func(l Layer) {
+		if p, ok := l.(Prunable); ok {
+			out = append(out, p)
+		}
+	})
+	return out
+}
+
+// TotalWeights returns the number of weight elements in prunable layers
+// that are still unpruned (bias parameters excluded, as in the paper's
+// weight counts).
+func (n *Network) TotalWeights() int {
+	total := 0
+	for _, p := range n.Prunables() {
+		if m := p.Mask(); m != nil {
+			total += m.KeptWeights()
+		} else {
+			_, r, c := p.WeightMatrix()
+			total += r * c
+		}
+	}
+	return total
+}
+
+// Clone deep-copies the network including masks.
+func (n *Network) Clone() *Network {
+	c := NewNetwork(n.Name, n.Classes)
+	for _, l := range n.Layers {
+		c.Add(l.Clone())
+	}
+	return c
+}
+
+// LayerCounts returns a map of layer-kind name to count, for Table II
+// style reporting (activation and flatten layers are bookkeeping, not
+// counted by the paper).
+func (n *Network) LayerCounts() map[string]int {
+	counts := map[string]int{}
+	Walk(n.Layers, func(l Layer) {
+		switch l.Kind() {
+		case KindConv, KindFC, KindPool:
+			counts[l.Kind().String()]++
+		}
+	})
+	return counts
+}
+
+// ---------------------------------------------------------------------------
+// SGD
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*Param][]float32
+}
+
+// NewSGD constructs an optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: map[*Param][]float32{}}
+}
+
+// Step applies one update using gradients accumulated over batchSize
+// samples, then re-applies pruning masks.
+func (s *SGD) Step(n *Network, batchSize int) {
+	if batchSize <= 0 {
+		panic(fmt.Sprintf("nn: bad batch size %d", batchSize))
+	}
+	scale := float32(s.LR / float64(batchSize))
+	mom := float32(s.Momentum)
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			v := s.vel[p]
+			if v == nil {
+				v = make([]float32, len(p.Data))
+				s.vel[p] = v
+			}
+			for i := range p.Data {
+				v[i] = mom*v[i] - scale*p.Grad[i]
+				p.Data[i] += v[i]
+			}
+		}
+	}
+	n.ApplyMasks()
+}
+
+// ---------------------------------------------------------------------------
+// Training and evaluation helpers
+
+// Sample is one labelled training/evaluation example.
+type Sample struct {
+	X     *tensor.Tensor
+	Label int
+}
+
+// TrainEpoch runs one epoch of minibatch SGD over samples (shuffled with
+// rng) and returns the mean loss.
+func TrainEpoch(n *Network, samples []Sample, opt *SGD, batch int, rng *rand.Rand) float64 {
+	if batch <= 0 {
+		batch = 16
+	}
+	idx := rng.Perm(len(samples))
+	var total float64
+	for start := 0; start < len(idx); start += batch {
+		end := min(start+batch, len(idx))
+		n.ZeroGrads()
+		for _, i := range idx[start:end] {
+			s := samples[i]
+			total += n.LossBackward(s.X, s.Label)
+		}
+		opt.Step(n, end-start)
+	}
+	return total / float64(len(samples))
+}
+
+// Accuracy evaluates top-1 accuracy over the samples.
+func Accuracy(n *Network, samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if n.Predict(s.X) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}

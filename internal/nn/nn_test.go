@@ -1,0 +1,294 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iprune/internal/tensor"
+)
+
+func TestBlockMaskGeometry(t *testing.T) {
+	m := NewBlockMask(10, 12, 4, 5)
+	if m.BlockRows() != 3 || m.BlockCols() != 3 {
+		t.Fatalf("block grid = %dx%d, want 3x3", m.BlockRows(), m.BlockCols())
+	}
+	if m.NumBlocks() != 9 {
+		t.Fatalf("NumBlocks = %d, want 9", m.NumBlocks())
+	}
+	// Bottom-right block is clipped: rows 8..10, cols 10..12 -> 2x2.
+	if got := m.BlockWeights(8); got != 4 {
+		t.Errorf("edge block weights = %d, want 4", got)
+	}
+	if m.KeptWeights() != 120 {
+		t.Errorf("KeptWeights = %d, want 120", m.KeptWeights())
+	}
+}
+
+func TestBlockMaskApply(t *testing.T) {
+	m := NewBlockMask(4, 4, 2, 2)
+	w := make([]float32, 16)
+	for i := range w {
+		w[i] = 1
+	}
+	m.Keep[0] = false // top-left 2x2
+	m.Apply(w)
+	want := []float32{0, 0, 1, 1, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	for i := range w {
+		if w[i] != want[i] {
+			t.Fatalf("after apply w=%v", w)
+		}
+	}
+	if m.KeptWeights() != 12 {
+		t.Errorf("KeptWeights = %d, want 12", m.KeptWeights())
+	}
+	if math.Abs(m.Sparsity()-0.25) > 1e-9 {
+		t.Errorf("Sparsity = %v, want 0.25", m.Sparsity())
+	}
+}
+
+func TestBlockMaskRMS(t *testing.T) {
+	m := NewBlockMask(2, 4, 2, 2)
+	w := []float32{3, 4, 0, 0, 0, 0, 1, 1}
+	// Block 0 = {3,4,0,0} RMS = sqrt(25/4)=2.5; block 1 = {0,0,1,1} RMS = sqrt(2/4).
+	if got := m.BlockRMS(w, 0); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("RMS block0 = %v, want 2.5", got)
+	}
+	if got := m.BlockRMS(w, 1); math.Abs(got-math.Sqrt(0.5)) > 1e-9 {
+		t.Errorf("RMS block1 = %v, want sqrt(0.5)", got)
+	}
+}
+
+func TestBlockMaskKeptWeightsInvariant(t *testing.T) {
+	// Property: sum of BlockWeights over all blocks == Rows*Cols, for any
+	// geometry.
+	f := func(r, c, bm, bk uint8) bool {
+		rows, cols := int(r%20)+1, int(c%20)+1
+		bmv, bkv := int(bm%6)+1, int(bk%6)+1
+		m := NewBlockMask(rows, cols, bmv, bkv)
+		total := 0
+		for b := 0; b < m.NumBlocks(); b++ {
+			total += m.BlockWeights(b)
+		}
+		return total == rows*cols && m.KeptWeights() == rows*cols
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// numericalGrad computes dLoss/dparam[i] via central differences.
+func numericalGrad(n *Network, in *tensor.Tensor, label int, p *Param, i int) float64 {
+	const eps = 1e-3
+	orig := p.Data[i]
+	p.Data[i] = orig + eps
+	logits := n.Forward(in)
+	lp := -math.Log(math.Max(Softmax(logits.Data)[label], 1e-12))
+	p.Data[i] = orig - eps
+	logits = n.Forward(in)
+	lm := -math.Log(math.Max(Softmax(logits.Data)[label], 1e-12))
+	p.Data[i] = orig
+	return (lp - lm) / (2 * eps)
+}
+
+func buildTinyNet(rng *rand.Rand) *Network {
+	n := NewNetwork("tiny", 3)
+	n.Add(NewConv2D("c1", tensor.ConvGeom{InC: 2, InH: 6, InW: 6, OutC: 3, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, rng))
+	n.Add(NewReLU("r1"))
+	n.Add(NewMaxPool2D("p1", 3, 6, 6, 2, 2))
+	n.Add(NewFlatten("fl"))
+	n.Add(NewFC("f1", 3*3*3, 3, rng))
+	return n
+}
+
+func TestGradientCheckConvFC(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := buildTinyNet(rng)
+	in := tensor.New(2, 6, 6)
+	for i := range in.Data {
+		in.Data[i] = rng.Float32()*2 - 1
+	}
+	n.ZeroGrads()
+	n.LossBackward(in, 1)
+	// Check a sample of weight gradients in every parameterized layer.
+	for _, l := range n.Layers {
+		for pi, p := range l.Params() {
+			for _, i := range []int{0, len(p.Data) / 2, len(p.Data) - 1} {
+				want := numericalGrad(n, in, 1, p, i)
+				got := float64(p.Grad[i])
+				if math.Abs(got-want) > 1e-2*math.Max(1, math.Abs(want)) {
+					t.Errorf("%s param %d grad[%d] = %v, want %v", l.Name(), pi, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGradientCheckGlobalAvgPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := NewNetwork("gap", 4)
+	n.Add(NewConv2D("c1", tensor.ConvGeom{InC: 1, InH: 4, InW: 4, OutC: 4, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, rng))
+	n.Add(NewReLU("r1"))
+	n.Add(NewGlobalAvgPool("gap", 4, 4, 4))
+	in := tensor.New(1, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = rng.Float32()
+	}
+	n.ZeroGrads()
+	n.LossBackward(in, 2)
+	conv := n.Layers[0].(*Conv2D)
+	for _, i := range []int{0, 17, len(conv.W.Data) - 1} {
+		want := numericalGrad(n, in, 2, conv.W, i)
+		got := float64(conv.W.Grad[i])
+		if math.Abs(got-want) > 1e-2*math.Max(1, math.Abs(want)) {
+			t.Errorf("gap-net grad[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(a, b, c int8) bool {
+		logits := []float32{float32(a) / 8, float32(b) / 8, float32(c) / 8}
+		p := Softmax(logits)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	p := Softmax([]float32{1000, 1001, 999})
+	if math.IsNaN(p[0]) || math.IsInf(p[1], 0) {
+		t.Fatal("softmax not stable for large logits")
+	}
+	if p[1] < p[0] || p[0] < p[2] {
+		t.Error("softmax ordering violated")
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := buildTinyNet(rng)
+	// Three linearly separable blob classes in input space.
+	var samples []Sample
+	for i := 0; i < 60; i++ {
+		label := i % 3
+		x := tensor.New(2, 6, 6)
+		for j := range x.Data {
+			x.Data[j] = float32(rng.NormFloat64()*0.3) + float32(label-1)
+		}
+		samples = append(samples, Sample{X: x, Label: label})
+	}
+	opt := NewSGD(0.05, 0.9)
+	first := TrainEpoch(n, samples, opt, 8, rng)
+	var last float64
+	for e := 0; e < 5; e++ {
+		last = TrainEpoch(n, samples, opt, 8, rng)
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease: first %v last %v", first, last)
+	}
+	if acc := Accuracy(n, samples); acc < 0.9 {
+		t.Errorf("train accuracy = %v, want >= 0.9 on separable blobs", acc)
+	}
+}
+
+func TestMaskSurvivesTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := buildTinyNet(rng)
+	conv := n.Layers[0].(*Conv2D)
+	conv.InitBlocks(1, 6)
+	conv.Mask().Keep[0] = false
+	conv.ApplyMask()
+	var samples []Sample
+	for i := 0; i < 20; i++ {
+		x := tensor.New(2, 6, 6)
+		for j := range x.Data {
+			x.Data[j] = rng.Float32()
+		}
+		samples = append(samples, Sample{X: x, Label: i % 3})
+	}
+	opt := NewSGD(0.05, 0.9)
+	for e := 0; e < 3; e++ {
+		TrainEpoch(n, samples, opt, 4, rng)
+	}
+	r0, r1, c0, c1 := conv.Mask().BlockBounds(0)
+	_, _, cols := conv.WeightMatrix()
+	for r := r0; r < r1; r++ {
+		for c := c0; c < c1; c++ {
+			if conv.W.Data[r*cols+c] != 0 {
+				t.Fatalf("pruned weight (%d,%d) resurrected: %v", r, c, conv.W.Data[r*cols+c])
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := buildTinyNet(rng)
+	conv := n.Layers[0].(*Conv2D)
+	conv.InitBlocks(1, 3)
+	c := n.Clone()
+	cconv := c.Layers[0].(*Conv2D)
+	cconv.W.Data[0] = 999
+	cconv.Mask().Keep[0] = false
+	if n.Layers[0].(*Conv2D).W.Data[0] == 999 {
+		t.Error("clone shares weights")
+	}
+	if !conv.Mask().Keep[0] {
+		t.Error("clone shares mask")
+	}
+}
+
+func TestPrunablesAndCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	n := buildTinyNet(rng)
+	pr := n.Prunables()
+	if len(pr) != 2 {
+		t.Fatalf("Prunables = %d, want 2 (conv+fc)", len(pr))
+	}
+	counts := n.LayerCounts()
+	if counts["CONV"] != 1 || counts["FC"] != 1 || counts["POOL"] != 1 {
+		t.Errorf("LayerCounts = %v", counts)
+	}
+	wantW := 3*2*3*3 + 27*3
+	if n.TotalWeights() != wantW {
+		t.Errorf("TotalWeights = %d, want %d", n.TotalWeights(), wantW)
+	}
+}
+
+func TestTotalWeightsAfterPrune(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := buildTinyNet(rng)
+	fc := n.Layers[4].(*FC)
+	fc.InitBlocks(1, 27) // one block per output row: 3 blocks of 27
+	fc.Mask().Keep[0] = false
+	fc.ApplyMask()
+	want := 3*2*3*3 + 27*2
+	if n.TotalWeights() != want {
+		t.Errorf("TotalWeights = %d, want %d", n.TotalWeights(), want)
+	}
+}
+
+func TestPredictDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	n := buildTinyNet(rng)
+	in := tensor.New(2, 6, 6)
+	for i := range in.Data {
+		in.Data[i] = rng.Float32()
+	}
+	a := n.Predict(in)
+	b := n.Predict(in)
+	if a != b {
+		t.Error("Predict not deterministic")
+	}
+}

@@ -1,0 +1,237 @@
+// Package power simulates the energy-harvesting supply of the paper's
+// Table I: a programmable source feeding a TI BQ25504 boost converter
+// that buffers energy in a 100 µF capacitor; the device is switched on
+// when the capacitor reaches 2.8 V and off when it falls to 2.4 V.
+//
+// Under continuous power (1.65 W) the device never browns out; under
+// strong (8 mW) and weak (4 mW) harvest power the buffered energy runs
+// out repeatedly, producing the "repeated yet unpredictable power
+// failures" the paper evaluates against. Unpredictability is modelled as
+// seeded per-cycle jitter on the harvested power, so runs are reproducible
+// yet failure points do not align with op boundaries.
+package power
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Buffer is the capacitor energy buffer behind the boost converter.
+type Buffer struct {
+	CapF float64 // capacitance in farads
+	VOn  float64 // switch-on voltage
+	VOff float64 // switch-off voltage
+}
+
+// DefaultBuffer returns the paper's 100 µF, 2.8 V / 2.4 V configuration.
+func DefaultBuffer() Buffer {
+	return Buffer{CapF: 100e-6, VOn: 2.8, VOff: 2.4}
+}
+
+// UsableEnergy returns the energy available per power cycle:
+// ½·C·(VOn²−VOff²).
+func (b Buffer) UsableEnergy() float64 {
+	return 0.5 * b.CapF * (b.VOn*b.VOn - b.VOff*b.VOff)
+}
+
+// Supply describes a harvest-power operating point.
+type Supply struct {
+	Name       string
+	Power      float64 // average harvested power, watts
+	Continuous bool    // true: mains-powered, the buffer never depletes
+	// Jitter is the relative per-cycle variation of harvested power
+	// (0 = deterministic). The paper's ambient sources are "inherently
+	// weak and unstable".
+	Jitter float64
+}
+
+// The paper's three operating points.
+var (
+	// ContinuousPower is 1.65 W (3.3 V × 0.5 A): the device runs without
+	// interruption, though HAWAII⁺ still preserves progress.
+	ContinuousPower = Supply{Name: "continuous", Power: 1.65, Continuous: true}
+	// StrongPower is 8 mW (1 V × 8 mA).
+	StrongPower = Supply{Name: "strong", Power: 8e-3, Jitter: 0.15}
+	// WeakPower is 4 mW (1 V × 4 mA).
+	WeakPower = Supply{Name: "weak", Power: 4e-3, Jitter: 0.15}
+)
+
+// Sim tracks the buffer charge across one execution. It is advanced by
+// Consume calls (energy drawn over elapsed time) and reports when the
+// buffer depletes.
+type Sim struct {
+	Buffer Buffer
+	Supply Supply
+
+	rng       *rand.Rand
+	remaining float64 // energy left in this power cycle
+	cyclePow  float64 // harvest power for the current cycle (jittered)
+	trace     *Trace  // optional time-varying profile
+
+	// Stats.
+	Failures   int
+	OnTime     float64 // seconds spent powered
+	OffTime    float64 // seconds spent recharging
+	EnergyUsed float64 // joules drawn by the device
+}
+
+// NewSim constructs a simulator; seed controls the jitter sequence.
+func NewSim(b Buffer, s Supply, seed int64) *Sim {
+	sim := &Sim{Buffer: b, Supply: s, rng: rand.New(rand.NewSource(seed))}
+	sim.remaining = b.UsableEnergy()
+	sim.cyclePow = sim.drawCyclePower()
+	return sim
+}
+
+func (s *Sim) drawCyclePower() float64 {
+	p := s.Supply.Power
+	if s.trace != nil {
+		p = math.Max(s.trace.At(s.OnTime+s.OffTime), traceFloor)
+	}
+	if s.Supply.Jitter > 0 {
+		p *= 1 + s.Supply.Jitter*(2*s.rng.Float64()-1)
+	}
+	return p
+}
+
+// Consume draws energy over dt seconds of device activity. It returns
+// true if the buffer depleted during this draw — a power failure — in
+// which case the caller must treat the activity as lost and call
+// Recharge before resuming. Harvested power arriving during the activity
+// offsets the draw.
+func (s *Sim) Consume(energy, dt float64) bool {
+	if energy < 0 || dt < 0 {
+		panic(fmt.Sprintf("power: negative consume (%g J, %g s)", energy, dt))
+	}
+	s.OnTime += dt
+	s.EnergyUsed += energy
+	if s.Supply.Continuous {
+		return false
+	}
+	net := energy - s.cyclePow*dt
+	if net < 0 {
+		// Harvest exceeded draw: the converter tops the buffer back up
+		// (it cannot exceed the switch-on level).
+		s.remaining -= net
+		if full := s.Buffer.UsableEnergy(); s.remaining > full {
+			s.remaining = full
+		}
+		return false
+	}
+	s.remaining -= net
+	if s.remaining <= 0 {
+		s.Failures++
+		return true
+	}
+	return false
+}
+
+// Recharge models the off period after a failure: the device is dark
+// while the harvester refills the buffer from VOff to VOn. It returns the
+// off-time spent and rolls the jitter for the next cycle.
+func (s *Sim) Recharge() float64 {
+	if s.Supply.Continuous {
+		return 0
+	}
+	off := s.Buffer.UsableEnergy() / s.cyclePow
+	s.OffTime += off
+	s.remaining = s.Buffer.UsableEnergy()
+	s.cyclePow = s.drawCyclePower()
+	return off
+}
+
+// Remaining exposes the current buffer energy (for tests and telemetry).
+func (s *Sim) Remaining() float64 { return s.remaining }
+
+// ---------------------------------------------------------------------------
+// Trace-driven supplies
+
+// Trace is a time-varying harvest profile: piecewise-linear power samples
+// over elapsed wall-clock time, emulating e.g. a solar panel through
+// passing clouds. Times must be strictly increasing and start at 0.
+type Trace struct {
+	Times  []float64 // seconds
+	Powers []float64 // watts at each time point
+}
+
+// Validate checks the trace invariants.
+func (tr *Trace) Validate() error {
+	if len(tr.Times) != len(tr.Powers) || len(tr.Times) < 2 {
+		return fmt.Errorf("power: trace needs >= 2 aligned samples, got %d/%d", len(tr.Times), len(tr.Powers))
+	}
+	if tr.Times[0] != 0 {
+		return fmt.Errorf("power: trace must start at t=0")
+	}
+	for i := 1; i < len(tr.Times); i++ {
+		if tr.Times[i] <= tr.Times[i-1] {
+			return fmt.Errorf("power: trace times not increasing at %d", i)
+		}
+	}
+	for i, p := range tr.Powers {
+		if p < 0 {
+			return fmt.Errorf("power: negative power at sample %d", i)
+		}
+	}
+	return nil
+}
+
+// At returns the interpolated power at time t (clamped to the ends).
+func (tr *Trace) At(t float64) float64 {
+	if t <= tr.Times[0] {
+		return tr.Powers[0]
+	}
+	last := len(tr.Times) - 1
+	if t >= tr.Times[last] {
+		return tr.Powers[last]
+	}
+	i := 1
+	for tr.Times[i] < t {
+		i++
+	}
+	t0, t1 := tr.Times[i-1], tr.Times[i]
+	p0, p1 := tr.Powers[i-1], tr.Powers[i]
+	return p0 + (p1-p0)*(t-t0)/(t1-t0)
+}
+
+// SolarDay builds a synthetic cloudy-day trace: a sine arc from dawn to
+// dusk with seeded cloud dips, peaking at peak watts over the duration.
+func SolarDay(peak, duration float64, clouds int, seed int64) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	const samples = 96
+	tr := Trace{}
+	dip := make([]float64, samples+1)
+	for c := 0; c < clouds; c++ {
+		center := rng.Float64() * float64(samples)
+		width := 2 + rng.Float64()*6
+		depth := 0.4 + rng.Float64()*0.5
+		for i := 0; i <= samples; i++ {
+			d := (float64(i) - center) / width
+			dip[i] += depth * math.Exp(-0.5*d*d)
+		}
+	}
+	for i := 0; i <= samples; i++ {
+		frac := float64(i) / samples
+		arc := math.Sin(math.Pi * frac)
+		shade := 1 - math.Min(dip[i], 0.95)
+		tr.Times = append(tr.Times, frac*duration)
+		tr.Powers = append(tr.Powers, peak*arc*arc*shade)
+	}
+	return tr
+}
+
+// NewTraceSim constructs a simulator whose harvest power follows the
+// trace as simulated time (on-time plus recharge time) advances.
+func NewTraceSim(b Buffer, tr Trace, seed int64) (*Sim, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	s := NewSim(b, Supply{Name: "trace", Power: tr.Powers[0]}, seed)
+	s.trace = &tr
+	s.cyclePow = math.Max(tr.Powers[0], traceFloor)
+	return s, nil
+}
+
+// traceFloor avoids division by zero when a trace hits exactly zero
+// power: recharge stalls at a very long (but finite) off-time.
+const traceFloor = 1e-6

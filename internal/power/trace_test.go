@@ -1,0 +1,128 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTraceValidate(t *testing.T) {
+	good := Trace{Times: []float64{0, 1, 2}, Powers: []float64{0, 5e-3, 1e-3}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Trace{
+		{Times: []float64{0}, Powers: []float64{1}},
+		{Times: []float64{1, 2}, Powers: []float64{1, 1}},
+		{Times: []float64{0, 0}, Powers: []float64{1, 1}},
+		{Times: []float64{0, 1}, Powers: []float64{1, -1}},
+		{Times: []float64{0, 1}, Powers: []float64{1}},
+	}
+	for i, tr := range cases {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestTraceInterpolation(t *testing.T) {
+	tr := Trace{Times: []float64{0, 10, 20}, Powers: []float64{0, 10e-3, 0}}
+	if got := tr.At(5); math.Abs(got-5e-3) > 1e-12 {
+		t.Errorf("At(5) = %v, want 5mW", got)
+	}
+	if got := tr.At(-1); got != 0 {
+		t.Errorf("At(-1) = %v, want clamp to 0", got)
+	}
+	if got := tr.At(100); got != 0 {
+		t.Errorf("At(100) = %v, want clamp to end", got)
+	}
+	if got := tr.At(10); math.Abs(got-10e-3) > 1e-12 {
+		t.Errorf("At(10) = %v, want peak", got)
+	}
+}
+
+func TestSolarDayShape(t *testing.T) {
+	tr := SolarDay(10e-3, 3600, 3, 7)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Dawn and dusk are dark; midday is bright.
+	if tr.Powers[0] > 1e-9 || tr.Powers[len(tr.Powers)-1] > 1e-9 {
+		t.Error("solar day should start and end at ~0")
+	}
+	peak := 0.0
+	for _, p := range tr.Powers {
+		if p > peak {
+			peak = p
+		}
+		if p > 10e-3+1e-12 {
+			t.Fatalf("power %v exceeds peak", p)
+		}
+	}
+	if peak < 4e-3 {
+		t.Errorf("peak %v too low for a 10mW day", peak)
+	}
+}
+
+func TestSolarDayDeterministic(t *testing.T) {
+	a := SolarDay(5e-3, 100, 2, 3)
+	b := SolarDay(5e-3, 100, 2, 3)
+	for i := range a.Powers {
+		if a.Powers[i] != b.Powers[i] {
+			t.Fatal("SolarDay not deterministic")
+		}
+	}
+}
+
+func TestTraceSimFollowsProfile(t *testing.T) {
+	// Strong power early, near-darkness later: recharge after the bright
+	// phase must take far longer than during it.
+	tr := Trace{Times: []float64{0, 0.05, 0.06, 10}, Powers: []float64{20e-3, 20e-3, 0.1e-3, 0.1e-3}}
+	s, err := NewTraceSim(DefaultBuffer(), tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainUntilFail := func() {
+		for i := 0; i < 1e6; i++ {
+			if s.Consume(30e-3*1e-3, 1e-3) {
+				return
+			}
+		}
+		t.Fatal("never failed")
+	}
+	drainUntilFail()
+	offBright := s.Recharge()
+	// Skip ahead into the dark phase.
+	for s.OnTime+s.OffTime < 0.06 {
+		drainUntilFail()
+		s.Recharge()
+	}
+	drainUntilFail()
+	offDark := s.Recharge()
+	if offDark < 10*offBright {
+		t.Errorf("dark recharge %v not much longer than bright %v", offDark, offBright)
+	}
+}
+
+func TestTraceSimRejectsBadTrace(t *testing.T) {
+	if _, err := NewTraceSim(DefaultBuffer(), Trace{}, 1); err == nil {
+		t.Error("expected error for empty trace")
+	}
+}
+
+func TestTraceZeroPowerDoesNotDivideByZero(t *testing.T) {
+	tr := Trace{Times: []float64{0, 1}, Powers: []float64{0, 0}}
+	s, err := NewTraceSim(DefaultBuffer(), tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if s.Consume(1e-6, 1e-4) {
+			off := s.Recharge()
+			if math.IsInf(off, 0) || math.IsNaN(off) {
+				t.Fatal("recharge diverged at zero power")
+			}
+			return
+		}
+	}
+	t.Fatal("never failed under zero harvest")
+}

@@ -1,0 +1,142 @@
+// Package quant converts trained float32 networks into the 16-bit
+// fixed-point deployment form used on the device (paper Section IV-A:
+// "model parameters are quantized from the 32-bit floating point
+// representation used during pruning to a 16-bit fixed point
+// representation, without a significant accuracy loss").
+//
+// Two things live here: (1) the deployable model — every prunable layer's
+// weights in BSR Q15 form plus quantized biases, with exact NVM size
+// accounting; and (2) deployment-accuracy evaluation, which runs the
+// float network with weights and activations rounded through Q15 at every
+// layer boundary, so the measured accuracy is the accuracy of the values
+// the device actually computes with.
+package quant
+
+import (
+	"fmt"
+
+	"iprune/internal/fixed"
+	"iprune/internal/nn"
+	"iprune/internal/sparse"
+	"iprune/internal/tensor"
+	"iprune/internal/tile"
+)
+
+// LayerWeights is the deployable form of one prunable layer.
+type LayerWeights struct {
+	Name    string
+	Weights *sparse.Matrix
+	Biases  fixed.Tensor
+}
+
+// Model is a deployable quantized model.
+type Model struct {
+	Name   string
+	Layers []LayerWeights
+}
+
+// Deploy quantizes the network's prunable layers into BSR form using the
+// block geometry from specs (which must come from the same network).
+func Deploy(net *nn.Network, specs []tile.LayerSpec) (*Model, error) {
+	prunables := net.Prunables()
+	if len(prunables) != len(specs) {
+		return nil, fmt.Errorf("quant: %d specs for %d prunable layers", len(specs), len(prunables))
+	}
+	m := &Model{Name: net.Name}
+	for i, p := range prunables {
+		w, rows, cols := p.WeightMatrix()
+		sm, err := sparse.FromDense(w, rows, cols, p.Mask(), specs[i].TM, specs[i].TK)
+		if err != nil {
+			return nil, fmt.Errorf("quant: layer %s: %w", specs[i].Name, err)
+		}
+		var bias []float32
+		switch v := p.(type) {
+		case *nn.Conv2D:
+			bias = v.B.Data
+		case *nn.FC:
+			bias = v.B.Data
+		}
+		m.Layers = append(m.Layers, LayerWeights{
+			Name:    specs[i].Name,
+			Weights: sm,
+			Biases:  fixed.QuantizeSlice(bias),
+		})
+	}
+	return m, nil
+}
+
+// SizeBytes reports the model's NVM footprint: BSR payloads and indices
+// plus biases — "all model parameters and indexing structures in the BSR
+// format" (Table III).
+func (m *Model) SizeBytes() int {
+	total := 0
+	for _, l := range m.Layers {
+		total += l.Weights.SizeBytes() + l.Biases.SizeBytes()
+	}
+	return total
+}
+
+// roundQ15 fake-quantizes a slice in place: each value is rounded to the
+// nearest representable Q15 value under the slice's per-tensor shift.
+func roundQ15(data []float32) {
+	qt := fixed.QuantizeSlice(data)
+	copy(data, qt.Dequantize())
+}
+
+// QuantizeWeights returns a clone of the network whose prunable-layer
+// weights and biases have been rounded through Q15 (per-tensor shift).
+func QuantizeWeights(net *nn.Network) *nn.Network {
+	c := net.Clone()
+	for _, p := range c.Prunables() {
+		w, _, _ := p.WeightMatrix()
+		roundQ15(w)
+		p.ApplyMask()
+		switch v := p.(type) {
+		case *nn.Conv2D:
+			roundQ15(v.B.Data)
+		case *nn.FC:
+			roundQ15(v.B.Data)
+		}
+	}
+	return c
+}
+
+// ForwardQ15 runs one sample through the network, rounding the activations
+// through Q15 after every layer — the deployment numerics. The input is
+// rounded too. Returns the logits.
+func ForwardQ15(net *nn.Network, in *tensor.Tensor) *tensor.Tensor {
+	x := in.Clone()
+	roundQ15(x.Data)
+	for _, l := range net.Layers {
+		x = l.Forward(x)
+		roundQ15(x.Data)
+	}
+	return x
+}
+
+// PredictQ15 returns the argmax class under deployment numerics.
+func PredictQ15(net *nn.Network, in *tensor.Tensor) int {
+	logits := ForwardQ15(net, in)
+	best, bestIdx := logits.Data[0], 0
+	for i, v := range logits.Data[1:] {
+		if v > best {
+			best, bestIdx = v, i+1
+		}
+	}
+	return bestIdx
+}
+
+// AccuracyQ15 evaluates top-1 accuracy under deployment numerics; call on
+// a QuantizeWeights clone to measure the deployed model's accuracy.
+func AccuracyQ15(net *nn.Network, samples []nn.Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if PredictQ15(net, s.X) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}

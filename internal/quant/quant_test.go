@@ -1,0 +1,150 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"iprune/internal/nn"
+	"iprune/internal/tensor"
+	"iprune/internal/tile"
+)
+
+func buildNet(seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	n := nn.NewNetwork("q", 3)
+	n.Add(nn.NewConv2D("c1", tensor.ConvGeom{InC: 1, InH: 6, InW: 6, OutC: 4, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, rng))
+	n.Add(nn.NewReLU("r1"))
+	n.Add(nn.NewMaxPool2D("p1", 4, 6, 6, 2, 2))
+	n.Add(nn.NewFlatten("fl"))
+	n.Add(nn.NewFC("f1", 4*3*3, 3, rng))
+	return n
+}
+
+func TestDeployProducesAllLayers(t *testing.T) {
+	net := buildNet(1)
+	cfg := tile.DefaultConfig()
+	specs := tile.SpecsFromNetwork(net, cfg)
+	tile.InstallMasks(net, specs)
+	m, err := Deploy(net, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Layers) != 2 {
+		t.Fatalf("layers = %d, want 2", len(m.Layers))
+	}
+	if m.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+}
+
+func TestDeploySizeShrinksWithPruning(t *testing.T) {
+	net := buildNet(2)
+	cfg := tile.DefaultConfig()
+	specs := tile.SpecsFromNetwork(net, cfg)
+	tile.InstallMasks(net, specs)
+	full, err := Deploy(net, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range net.Prunables() {
+		mask := p.Mask()
+		for b := 0; b < mask.NumBlocks(); b += 2 {
+			mask.Keep[b] = false
+		}
+		p.ApplyMask()
+	}
+	pruned, err := Deploy(net, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.SizeBytes() >= full.SizeBytes() {
+		t.Errorf("pruned size %d >= full %d", pruned.SizeBytes(), full.SizeBytes())
+	}
+}
+
+func TestDeploySpecMismatch(t *testing.T) {
+	net := buildNet(3)
+	if _, err := Deploy(net, nil); err == nil {
+		t.Error("expected error for missing specs")
+	}
+}
+
+func TestQuantizeWeightsCloseToFloat(t *testing.T) {
+	net := buildNet(4)
+	q := QuantizeWeights(net)
+	for i, p := range net.Prunables() {
+		w, _, _ := p.WeightMatrix()
+		qw, _, _ := q.Prunables()[i].WeightMatrix()
+		var maxAbs float64
+		for _, v := range w {
+			if a := math.Abs(float64(v)); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		tol := math.Max(maxAbs, 1) / (1 << 14)
+		for j := range w {
+			if math.Abs(float64(qw[j]-w[j])) > tol {
+				t.Fatalf("layer %d weight %d: quantized %v vs %v", i, j, qw[j], w[j])
+			}
+		}
+	}
+	// Original must be untouched.
+	if &net.Layers[0].(*nn.Conv2D).W.Data[0] == &q.Layers[0].(*nn.Conv2D).W.Data[0] {
+		t.Error("QuantizeWeights did not clone")
+	}
+}
+
+func TestForwardQ15MatchesFloatOnEasyInput(t *testing.T) {
+	net := buildNet(5)
+	rng := rand.New(rand.NewSource(6))
+	q := QuantizeWeights(net)
+	agree := 0
+	const n = 50
+	for i := 0; i < n; i++ {
+		in := tensor.New(1, 6, 6)
+		for j := range in.Data {
+			in.Data[j] = rng.Float32()*2 - 1
+		}
+		if net.Predict(in) == PredictQ15(q, in) {
+			agree++
+		}
+	}
+	if agree < n*9/10 {
+		t.Errorf("float/Q15 agreement %d/%d too low", agree, n)
+	}
+}
+
+func TestAccuracyQ15Empty(t *testing.T) {
+	net := buildNet(7)
+	if AccuracyQ15(net, nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+func TestAccuracyQ15OnSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := buildNet(9)
+	var samples []nn.Sample
+	for i := 0; i < 60; i++ {
+		label := i % 3
+		x := tensor.New(1, 6, 6)
+		for j := range x.Data {
+			x.Data[j] = float32(rng.NormFloat64()*0.2) + float32(label-1)*0.5
+		}
+		samples = append(samples, nn.Sample{X: x, Label: label})
+	}
+	opt := nn.NewSGD(0.05, 0.9)
+	for e := 0; e < 8; e++ {
+		nn.TrainEpoch(net, samples, opt, 8, rng)
+	}
+	floatAcc := nn.Accuracy(net, samples)
+	q := QuantizeWeights(net)
+	qAcc := AccuracyQ15(q, samples)
+	if floatAcc < 0.9 {
+		t.Fatalf("float accuracy too low to test quantization: %v", floatAcc)
+	}
+	if math.Abs(qAcc-floatAcc) > 0.1 {
+		t.Errorf("Q15 accuracy %v deviates from float %v", qAcc, floatAcc)
+	}
+}

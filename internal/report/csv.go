@@ -1,0 +1,46 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the evaluation results as tidy CSV (one row per
+// app × variant × supply) for external plotting.
+func WriteCSV(w io.Writer, results []*AppResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"app", "variant", "supply",
+		"accuracy_q15", "size_bytes", "macs", "acc_outputs",
+		"latency_s", "active_s", "charging_s", "energy_j", "power_cycles",
+		"read_s", "write_s", "compute_s", "recovery_s",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("report: csv: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, r := range results {
+		for _, v := range r.Variants {
+			for _, sup := range Supplies() {
+				lat := v.Latency[sup.Name]
+				row := []string{
+					r.App, v.Name, sup.Name,
+					f(v.AccuracyQ), strconv.Itoa(v.SizeBytes),
+					strconv.FormatInt(v.Counts.MACs, 10),
+					strconv.FormatInt(v.Counts.Jobs, 10),
+					f(lat.Latency), f(lat.ActiveTime), f(lat.OffTime),
+					f(lat.Energy), strconv.Itoa(lat.Failures),
+					f(lat.Break.ReadTime), f(lat.Break.WriteTime),
+					f(lat.Break.ComputeTime), f(lat.Break.RecoveryTime),
+				}
+				if err := cw.Write(row); err != nil {
+					return fmt.Errorf("report: csv: %w", err)
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,51 @@
+package report
+
+// PaperTable2Row holds the paper's Table II reference values.
+type PaperTable2Row struct {
+	Layers    string
+	SizeKB    int
+	MACsK     int
+	OutputsK  int
+	Diversity string
+}
+
+// PaperTable2 is the paper's Table II.
+var PaperTable2 = map[string]PaperTable2Row{
+	"SQN": {Layers: "CONV x 11, POOL x 2", SizeKB: 147, MACsK: 4442, OutputsK: 1483, Diversity: "Low"},
+	"HAR": {Layers: "CONV x 3, POOL x 3, FC x 1", SizeKB: 28, MACsK: 321, OutputsK: 77, Diversity: "Medium"},
+	"CKS": {Layers: "CONV x 2, FC x 3", SizeKB: 131, MACsK: 2811, OutputsK: 1582, Diversity: "High"},
+}
+
+// PaperTable3Row holds the paper's Table III reference values.
+type PaperTable3Row struct {
+	Accuracy float64 // percent
+	SizeKB   int
+	MACsK    int
+	OutputsK int
+}
+
+// PaperTable3 is the paper's Table III, keyed by app then variant.
+var PaperTable3 = map[string]map[string]PaperTable3Row{
+	"SQN": {
+		"Unpruned": {76.3, 147, 4442, 1483},
+		"ePrune":   {75.5, 56, 1617, 561},
+		"iPrune":   {75.5, 55, 1560, 518},
+	},
+	"HAR": {
+		"Unpruned": {92.5, 28, 321, 77},
+		"ePrune":   {92.7, 14, 183, 56},
+		"iPrune":   {92.7, 9, 108, 44},
+	},
+	"CKS": {
+		"Unpruned": {87.5, 131, 2811, 1582},
+		"ePrune":   {87.6, 75, 1047, 987},
+		"iPrune":   {87.7, 67, 1149, 509},
+	},
+}
+
+// PaperFig5 summarizes the paper's Figure 5 headline: iPrune speedup
+// ranges over the baselines across apps and power strengths.
+var PaperFig5 = struct {
+	VsUnprunedLo, VsUnprunedHi float64
+	VsEPruneLo, VsEPruneHi     float64
+}{1.7, 2.9, 1.1, 2.0}

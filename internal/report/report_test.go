@@ -1,0 +1,175 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"iprune/internal/hawaii"
+	"iprune/internal/models"
+	"iprune/internal/tile"
+)
+
+func TestLoadDataScalesSplits(t *testing.T) {
+	for _, app := range models.Names() {
+		q, err := LoadData(app, Quick, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := LoadData(app, Full, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q.Train) >= len(f.Train) {
+			t.Errorf("%s: quick train %d >= full %d", app, len(q.Train), len(f.Train))
+		}
+	}
+	if _, err := LoadData("nope", Quick, 1); err == nil {
+		t.Error("expected error for unknown app")
+	}
+}
+
+func TestTrainHARQuickReachesTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training")
+	}
+	ds, err := LoadData("HAR", Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, acc, err := Train("HAR", ds, Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.75 {
+		t.Errorf("HAR quick accuracy %.3f, want >= 0.75", acc)
+	}
+}
+
+func TestFig2BreakdownShape(t *testing.T) {
+	conv, inter, err := Fig2Breakdown("HAR", Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's motivating observation must hold in the simulator.
+	if inter.Break.WriteTime <= conv.Break.WriteTime {
+		t.Error("intermittent discipline must write more than the conventional flow")
+	}
+	if conv.Break.WriteTime >= conv.Break.ReadTime+conv.Break.ComputeTime {
+		t.Error("conventional flow must be read/compute dominated")
+	}
+	out := RenderFig2("HAR", conv, inter)
+	if !strings.Contains(out, "FIGURE 2") || !strings.Contains(out, "NVM-write") {
+		t.Error("RenderFig2 output malformed")
+	}
+}
+
+func TestRenderTable1MentionsPlatform(t *testing.T) {
+	out := RenderTable1()
+	for _, want := range []string{"MSP430FR5994", "8 KB SRAM", "512 KB FRAM", "2.8 V", "100 uF"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// fakeResults builds a minimal AppResult set for render tests without
+// running the training pipeline.
+func fakeResults(t *testing.T) []*AppResult {
+	t.Helper()
+	var out []*AppResult
+	cfg := tile.DefaultConfig()
+	for _, app := range models.Names() {
+		net, err := models.ByName(app, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs := tile.SpecsFromNetwork(net, cfg)
+		tile.InstallMasks(net, specs)
+		counts := tile.CountNetwork(net, specs, tile.Intermittent, cfg)
+		r := &AppResult{App: app, Specs: specs, Diversity: tile.Diversity(tile.LayerJobs(net, specs, cfg))}
+		for i, name := range []string{"Unpruned", "ePrune", "iPrune"} {
+			r.Variants = append(r.Variants, Variant{
+				Name: name, Net: net,
+				AccuracyQ: 0.9, SizeBytes: 1024 * (100 - 10*i), Counts: counts,
+				Latency: map[string]hawaii.Result{
+					"continuous": {Latency: 1.0 / float64(i+1)},
+					"strong":     {Latency: 2.0 / float64(i+1)},
+					"weak":       {Latency: 4.0 / float64(i+1)},
+				},
+			})
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestRenderTables(t *testing.T) {
+	results := fakeResults(t)
+	t2 := RenderTable2(results)
+	for _, want := range []string{"SQN", "HAR", "CKS", "CONV x 11", "Diversity"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+	t3 := RenderTable3(results)
+	for _, want := range []string{"Unpruned", "ePrune", "iPrune", "Accuracy"} {
+		if !strings.Contains(t3, want) {
+			t.Errorf("Table III missing %q", want)
+		}
+	}
+	f5 := RenderFig5(results)
+	if !strings.Contains(f5, "speedup") || !strings.Contains(f5, "weak") {
+		t.Error("Figure 5 output malformed")
+	}
+	lt := RenderLayerTable(results[0])
+	if !strings.Contains(lt, "conv1") {
+		t.Error("layer table missing layers")
+	}
+}
+
+func TestPaperReferenceComplete(t *testing.T) {
+	for _, app := range models.Names() {
+		if _, ok := PaperTable2[app]; !ok {
+			t.Errorf("PaperTable2 missing %s", app)
+		}
+		rows, ok := PaperTable3[app]
+		if !ok {
+			t.Fatalf("PaperTable3 missing %s", app)
+		}
+		for _, v := range []string{"Unpruned", "ePrune", "iPrune"} {
+			if _, ok := rows[v]; !ok {
+				t.Errorf("PaperTable3[%s] missing %s", app, v)
+			}
+		}
+	}
+	if PaperFig5.VsEPruneHi <= PaperFig5.VsEPruneLo {
+		t.Error("Fig5 reference range inverted")
+	}
+}
+
+func TestSupplies(t *testing.T) {
+	s := Supplies()
+	if len(s) != 3 || s[0].Name != "continuous" || s[2].Name != "weak" {
+		t.Errorf("Supplies = %v", s)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	results := fakeResults(t)
+	var buf strings.Builder
+	if err := WriteCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Count(out, "\n")
+	// header + 3 apps * 3 variants * 3 supplies
+	if lines != 1+27 {
+		t.Errorf("csv lines = %d, want 28", lines)
+	}
+	if !strings.HasPrefix(out, "app,variant,supply") {
+		t.Error("csv header malformed")
+	}
+	if !strings.Contains(out, "SQN,iPrune,weak") {
+		t.Error("csv missing expected row")
+	}
+}

@@ -1,0 +1,68 @@
+// Package search provides the simulated-annealing searcher iPrune uses to
+// allocate per-layer pruning ratios (paper Section III-D: "our iPrune
+// implementation adopts simulated annealing to search for per-layer
+// pruning ratios, but any search algorithm could be used instead").
+//
+// The searcher is deliberately problem-agnostic: the pruning core supplies
+// an energy function (post-prune accelerator outputs plus an accuracy
+// penalty) and a constraint-preserving neighbour move.
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Problem is a state space over float vectors.
+type Problem interface {
+	// Energy returns the objective to minimize.
+	Energy(state []float64) float64
+	// Neighbor writes a perturbed copy of state into out (both have the
+	// same length). Implementations must keep any problem constraints
+	// satisfied.
+	Neighbor(state, out []float64, rng *rand.Rand)
+}
+
+// Config controls the annealing schedule.
+type Config struct {
+	Iters int     // total proposal count
+	T0    float64 // initial temperature
+	T1    float64 // final temperature (geometric schedule)
+}
+
+// DefaultConfig is a schedule that converges well for the ratio-allocation
+// problems in this repository (tens of dimensions, smooth objectives).
+func DefaultConfig() Config {
+	return Config{Iters: 2000, T0: 1.0, T1: 1e-3}
+}
+
+// Anneal minimizes the problem starting from init and returns the best
+// state found and its energy. The run is deterministic for a given seed.
+func Anneal(p Problem, init []float64, cfg Config, seed int64) ([]float64, float64) {
+	if cfg.Iters <= 0 || cfg.T0 <= 0 || cfg.T1 <= 0 || cfg.T1 > cfg.T0 {
+		panic(fmt.Sprintf("search: invalid schedule %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cur := append([]float64(nil), init...)
+	curE := p.Energy(cur)
+	best := append([]float64(nil), cur...)
+	bestE := curE
+	next := make([]float64, len(cur))
+	decay := math.Pow(cfg.T1/cfg.T0, 1/float64(cfg.Iters))
+	temp := cfg.T0
+	for i := 0; i < cfg.Iters; i++ {
+		p.Neighbor(cur, next, rng)
+		nextE := p.Energy(next)
+		if nextE <= curE || rng.Float64() < math.Exp((curE-nextE)/temp) {
+			cur, next = next, cur
+			curE = nextE
+			if curE < bestE {
+				bestE = curE
+				copy(best, cur)
+			}
+		}
+		temp *= decay
+	}
+	return best, bestE
+}

@@ -1,0 +1,89 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quadratic is a convex test problem with minimum at the target point.
+type quadratic struct {
+	target []float64
+}
+
+func (q quadratic) Energy(s []float64) float64 {
+	var e float64
+	for i, v := range s {
+		d := v - q.target[i]
+		e += d * d
+	}
+	return e
+}
+
+func (q quadratic) Neighbor(s, out []float64, rng *rand.Rand) {
+	copy(out, s)
+	i := rng.Intn(len(out))
+	out[i] += rng.NormFloat64() * 0.1
+}
+
+func TestAnnealFindsQuadraticMinimum(t *testing.T) {
+	p := quadratic{target: []float64{0.3, -0.7, 1.2}}
+	best, e := Anneal(p, []float64{0, 0, 0}, DefaultConfig(), 1)
+	if e > 0.02 {
+		t.Errorf("energy = %v, want near 0 (best=%v)", e, best)
+	}
+	for i := range best {
+		if math.Abs(best[i]-p.target[i]) > 0.15 {
+			t.Errorf("dim %d: %v, want %v", i, best[i], p.target[i])
+		}
+	}
+}
+
+// multimodal has a deceptive local minimum at 0 and a global one at 2.
+type multimodal struct{}
+
+func (multimodal) Energy(s []float64) float64 {
+	x := s[0]
+	return 0.1*x*x*x*x - 0.5*x*x*x + 0.2*x*x + 1
+}
+
+func (multimodal) Neighbor(s, out []float64, rng *rand.Rand) {
+	out[0] = s[0] + rng.NormFloat64()*0.3
+}
+
+func TestAnnealEscapesLocalMinimum(t *testing.T) {
+	cfg := Config{Iters: 5000, T0: 2.0, T1: 1e-3}
+	best, _ := Anneal(multimodal{}, []float64{0}, cfg, 3)
+	// Global minimum of the quartic is near x ≈ 3.55; the local trap is
+	// near 0. Escaping means ending well to the right of the trap.
+	if best[0] < 1.5 {
+		t.Errorf("stuck at local minimum: x=%v", best[0])
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	p := quadratic{target: []float64{1, 2}}
+	a, ae := Anneal(p, []float64{0, 0}, DefaultConfig(), 42)
+	b, be := Anneal(p, []float64{0, 0}, DefaultConfig(), 42)
+	if ae != be || a[0] != b[0] || a[1] != b[1] {
+		t.Error("same seed must reproduce identical runs")
+	}
+}
+
+func TestAnnealNeverWorseThanInit(t *testing.T) {
+	p := quadratic{target: []float64{5}}
+	init := []float64{5} // already optimal
+	_, e := Anneal(p, init, DefaultConfig(), 9)
+	if e > 1e-12 {
+		t.Errorf("best energy %v worse than optimal init", e)
+	}
+}
+
+func TestAnnealValidatesConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on bad schedule")
+		}
+	}()
+	Anneal(quadratic{target: []float64{0}}, []float64{0}, Config{Iters: 0, T0: 1, T1: 0.1}, 1)
+}

@@ -1,0 +1,280 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndLen(t *testing.T) {
+	tt := New(2, 3, 4)
+	if tt.Len() != 24 {
+		t.Errorf("Len = %d, want 24", tt.Len())
+	}
+	if len(tt.Shape) != 3 || tt.Shape[0] != 2 || tt.Shape[1] != 3 || tt.Shape[2] != 4 {
+		t.Errorf("Shape = %v", tt.Shape)
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero dim")
+		}
+	}()
+	New(2, 0)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	tt := New(2, 3)
+	tt.Set(7.5, 1, 2)
+	if tt.At(1, 2) != 7.5 {
+		t.Errorf("At(1,2) = %v, want 7.5", tt.At(1, 2))
+	}
+	if tt.Data[1*3+2] != 7.5 {
+		t.Error("row-major layout violated")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := New(4)
+	a.Data[0] = 1
+	b := a.Clone()
+	b.Data[0] = 2
+	if a.Data[0] != 1 {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestFromDataValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched length")
+		}
+	}()
+	FromData(make([]float32, 5), 2, 3)
+}
+
+// naiveGemm is the reference implementation used to validate the tuned ones.
+func naiveGemm(a, b []float32, m, k, n int) []float32 {
+	c := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[p*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func randSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = rng.Float32()*2 - 1
+	}
+	return s
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 7, 3}, {8, 8, 8}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randSlice(rng, m*k), randSlice(rng, k*n)
+		want := naiveGemm(a, b, m, k, n)
+		got := make([]float32, m*n)
+		Gemm(a, b, got, m, k, n, false)
+		for i := range want {
+			if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+				t.Fatalf("gemm %v mismatch at %d: %v vs %v", dims, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGemmAccumulate(t *testing.T) {
+	a := []float32{1, 2}
+	b := []float32{3, 4}
+	c := []float32{10}
+	Gemm(a, b, c, 1, 2, 1, true)
+	if c[0] != 10+1*3+2*4 {
+		t.Errorf("accumulate gemm = %v, want 21", c[0])
+	}
+}
+
+func TestGemmTAMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, k, n := 4, 5, 3
+	// A is k×m; compute Aᵀ·B.
+	a, b := randSlice(rng, k*m), randSlice(rng, k*n)
+	at := make([]float32, m*k)
+	for p := 0; p < k; p++ {
+		for i := 0; i < m; i++ {
+			at[i*k+p] = a[p*m+i]
+		}
+	}
+	want := naiveGemm(at, b, m, k, n)
+	got := make([]float32, m*n)
+	GemmTA(a, b, got, m, k, n, false)
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+			t.Fatalf("gemmTA mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGemmTBMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, k, n := 3, 4, 5
+	// B is n×k; compute A·Bᵀ.
+	a, b := randSlice(rng, m*k), randSlice(rng, n*k)
+	bt := make([]float32, k*n)
+	for j := 0; j < n; j++ {
+		for p := 0; p < k; p++ {
+			bt[p*n+j] = b[j*k+p]
+		}
+	}
+	want := naiveGemm(a, bt, m, k, n)
+	got := make([]float32, m*n)
+	GemmTB(a, b, got, m, k, n, false)
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+			t.Fatalf("gemmTB mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvGeomDerive(t *testing.T) {
+	g := ConvGeom{InC: 3, InH: 32, InW: 32, OutC: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	if err := g.Derive(); err != nil {
+		t.Fatal(err)
+	}
+	if g.OutH != 32 || g.OutW != 32 {
+		t.Errorf("same-pad conv out = %dx%d, want 32x32", g.OutH, g.OutW)
+	}
+	if g.K() != 27 || g.N() != 1024 {
+		t.Errorf("K=%d N=%d, want 27, 1024", g.K(), g.N())
+	}
+}
+
+func TestConvGeomDeriveErrors(t *testing.T) {
+	g := ConvGeom{InC: 1, InH: 2, InW: 2, OutC: 1, KH: 5, KW: 5, StrideH: 1, StrideW: 1}
+	if err := g.Derive(); err == nil {
+		t.Error("expected error for kernel larger than padded input")
+	}
+	g2 := ConvGeom{InC: 1, InH: 4, InW: 4, OutC: 1, KH: 2, KW: 2, StrideH: 0, StrideW: 1}
+	if err := g2.Derive(); err == nil {
+		t.Error("expected error for zero stride")
+	}
+}
+
+// naiveConv computes direct convolution as a reference for im2col+gemm.
+func naiveConv(g *ConvGeom, in, w []float32) []float32 {
+	out := make([]float32, g.OutC*g.OutH*g.OutW)
+	for oc := 0; oc < g.OutC; oc++ {
+		for oh := 0; oh < g.OutH; oh++ {
+			for ow := 0; ow < g.OutW; ow++ {
+				var s float32
+				for ic := 0; ic < g.InC; ic++ {
+					for kh := 0; kh < g.KH; kh++ {
+						for kw := 0; kw < g.KW; kw++ {
+							ih := oh*g.StrideH - g.PadH + kh
+							iw := ow*g.StrideW - g.PadW + kw
+							if ih < 0 || ih >= g.InH || iw < 0 || iw >= g.InW {
+								continue
+							}
+							wi := ((oc*g.InC+ic)*g.KH+kh)*g.KW + kw
+							s += w[wi] * in[(ic*g.InH+ih)*g.InW+iw]
+						}
+					}
+				}
+				out[(oc*g.OutH+oh)*g.OutW+ow] = s
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2colGemmMatchesDirectConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cases := []ConvGeom{
+		{InC: 2, InH: 6, InW: 6, OutC: 3, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		{InC: 1, InH: 8, InW: 8, OutC: 2, KH: 2, KW: 2, StrideH: 2, StrideW: 2},
+		{InC: 3, InH: 5, InW: 7, OutC: 4, KH: 3, KW: 5, StrideH: 2, StrideW: 1, PadH: 1, PadW: 2},
+	}
+	for ci, g := range cases {
+		if err := g.Derive(); err != nil {
+			t.Fatal(err)
+		}
+		in := randSlice(rng, g.InC*g.InH*g.InW)
+		w := randSlice(rng, g.OutC*g.K())
+		want := naiveConv(&g, in, w)
+		col := make([]float32, g.K()*g.N())
+		Im2col(&g, in, col)
+		got := make([]float32, g.OutC*g.N())
+		Gemm(w, col, got, g.OutC, g.K(), g.N(), false)
+		for i := range want {
+			if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+				t.Fatalf("case %d: conv mismatch at %d: %v vs %v", ci, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCol2imIsIm2colAdjoint(t *testing.T) {
+	// <Im2col(x), y> == <x, Col2im(y)> must hold for backprop to be exact.
+	rng := rand.New(rand.NewSource(5))
+	g := ConvGeom{InC: 2, InH: 5, InW: 5, OutC: 1, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	if err := g.Derive(); err != nil {
+		t.Fatal(err)
+	}
+	x := randSlice(rng, g.InC*g.InH*g.InW)
+	y := randSlice(rng, g.K()*g.N())
+	cx := make([]float32, g.K()*g.N())
+	Im2col(&g, x, cx)
+	var lhs float64
+	for i := range cx {
+		lhs += float64(cx[i]) * float64(y[i])
+	}
+	xg := make([]float32, len(x))
+	Col2im(&g, y, xg)
+	var rhs float64
+	for i := range x {
+		rhs += float64(x[i]) * float64(xg[i])
+	}
+	if math.Abs(lhs-rhs) > 1e-3 {
+		t.Errorf("adjoint identity violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestGemmLinearityProperty(t *testing.T) {
+	// Gemm(a1+a2, b) == Gemm(a1,b) + Gemm(a2,b), checked via quick with
+	// small fixed dims.
+	m, k, n := 2, 3, 2
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a1, a2, b := randSlice(rng, m*k), randSlice(rng, m*k), randSlice(rng, k*n)
+		sum := make([]float32, m*k)
+		for i := range sum {
+			sum[i] = a1[i] + a2[i]
+		}
+		c1 := make([]float32, m*n)
+		c2 := make([]float32, m*n)
+		cs := make([]float32, m*n)
+		Gemm(a1, b, c1, m, k, n, false)
+		Gemm(a2, b, c2, m, k, n, false)
+		Gemm(sum, b, cs, m, k, n, false)
+		for i := range cs {
+			if math.Abs(float64(cs[i]-(c1[i]+c2[i]))) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

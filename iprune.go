@@ -1,0 +1,274 @@
+// Package iprune is an intermittent-aware neural network pruning toolkit:
+// a Go reproduction of "Intermittent-Aware Neural Network Pruning"
+// (Lin et al., DAC 2023).
+//
+// Battery-less devices running DNN inference on harvested energy must
+// preserve every accelerator output to nonvolatile memory so progress
+// survives power failures; the resulting NVM writes, not MACs or reads,
+// dominate inference latency. iPrune therefore prunes by a criterion that
+// counts accelerator outputs, removing weight blocks at exactly the
+// granularity of one accelerator operation so pruned blocks disappear
+// from the operation schedule.
+//
+// The package exposes the complete stack built for the reproduction:
+//
+//   - training (nn substrate) and the three TinyML models of the paper;
+//   - synthetic datasets standing in for CIFAR-10 / HAR / speech commands;
+//   - the tiling/cost model that counts accelerator outputs (the pruning
+//     criterion) and NVM traffic;
+//   - iterative three-step pruning (iPrune) plus the energy-aware ePrune
+//     comparison and ablation criteria;
+//   - Q15 quantization and BSR block-sparse deployment;
+//   - the HAWAII⁺ intermittent inference engine: a functional simulator
+//     with job-counter progress preservation/recovery, and an
+//     event-driven latency/energy simulator with an MSP430FR5994-class
+//     device profile and a capacitor-buffered harvesting supply.
+//
+// Quick start:
+//
+//	net, _ := iprune.BuildModel("HAR", 1)
+//	ds := iprune.HARData(iprune.DataConfig{Train: 192, Test: 96, Noise: 0.35}, 1)
+//	iprune.TrainSGD(net, ds.Train, 8, 0.005, 1)
+//	res, _ := iprune.Prune(net, ds.Train, ds.Test, iprune.DefaultPruneOptions())
+//	before := iprune.Simulate(net, iprune.StrongPower, 1)
+//	after := iprune.Simulate(res.Net, iprune.StrongPower, 1)
+//	fmt.Printf("speedup %.2fx\n", before.Latency/after.Latency)
+package iprune
+
+import (
+	"math/rand"
+
+	"iprune/internal/compress"
+	"iprune/internal/core"
+	"iprune/internal/dataset"
+	"iprune/internal/device"
+	"iprune/internal/hawaii"
+	"iprune/internal/models"
+	"iprune/internal/nn"
+	"iprune/internal/power"
+	"iprune/internal/quant"
+	"iprune/internal/tile"
+)
+
+// Re-exported foundation types. The aliases make the internal packages'
+// documented types part of the public API without duplicating them.
+type (
+	// Network is a trainable DNN (see the nn layer types for building
+	// custom architectures).
+	Network = nn.Network
+	// Sample is one labelled input.
+	Sample = nn.Sample
+	// Dataset is a generated train/test split.
+	Dataset = dataset.Dataset
+	// DataConfig sizes a generated dataset.
+	DataConfig = dataset.Config
+	// PruneOptions tunes the iterative pruning loop.
+	PruneOptions = core.Options
+	// PruneResult is the outcome of a pruning run.
+	PruneResult = core.Result
+	// Criterion scores layers for pruning-ratio allocation.
+	Criterion = core.Criterion
+	// Supply is a power operating point.
+	Supply = power.Supply
+	// SimResult is a simulated end-to-end inference outcome.
+	SimResult = hawaii.Result
+	// EngineConfig is the inference-engine tiling configuration.
+	EngineConfig = tile.Config
+	// DeviceProfile is the hardware latency/energy model.
+	DeviceProfile = device.Profile
+)
+
+// Pruning criteria.
+var (
+	// CriterionAccOutputs is iPrune's accelerator-output criterion.
+	CriterionAccOutputs Criterion = core.AccOutputs{}
+	// CriterionEnergy is the energy-aware (ePrune) criterion.
+	CriterionEnergy Criterion = core.Energy{}
+	// CriterionMACs is the compute-only ablation criterion.
+	CriterionMACs Criterion = core.MACs{}
+	// CriterionUniform treats all layers alike (magnitude-only ablation).
+	CriterionUniform Criterion = core.Uniform{}
+)
+
+// The paper's power operating points.
+var (
+	// ContinuousPower never browns out (1.65 W).
+	ContinuousPower = power.ContinuousPower
+	// StrongPower is 8 mW harvested.
+	StrongPower = power.StrongPower
+	// WeakPower is 4 mW harvested.
+	WeakPower = power.WeakPower
+)
+
+// BuildModel constructs one of the paper's TinyML models: "SQN", "HAR" or
+// "CKS".
+func BuildModel(name string, seed int64) (*Network, error) {
+	return models.ByName(name, seed)
+}
+
+// ModelNames lists the available model builders.
+func ModelNames() []string { return models.Names() }
+
+// ImageData generates the 10-class image-recognition dataset (SQN).
+func ImageData(cfg DataConfig, seed int64) *Dataset { return dataset.Images(cfg, seed) }
+
+// HARData generates the 6-class activity dataset (HAR).
+func HARData(cfg DataConfig, seed int64) *Dataset { return dataset.HAR(cfg, seed) }
+
+// SpeechData generates the 12-class keyword dataset (CKS).
+func SpeechData(cfg DataConfig, seed int64) *Dataset { return dataset.Speech(cfg, seed) }
+
+// TrainSGD trains the network with momentum SGD and per-epoch learning
+// rate decay (0.85), returning the final training loss.
+func TrainSGD(net *Network, train []Sample, epochs int, lr float64, seed int64) float64 {
+	opt := nn.NewSGD(lr, 0.9)
+	rng := rand.New(rand.NewSource(seed))
+	var loss float64
+	for e := 0; e < epochs; e++ {
+		loss = nn.TrainEpoch(net, train, opt, 16, rng)
+		opt.LR *= 0.85
+	}
+	return loss
+}
+
+// Accuracy evaluates float top-1 accuracy.
+func Accuracy(net *Network, samples []Sample) float64 { return nn.Accuracy(net, samples) }
+
+// DeployedAccuracy evaluates top-1 accuracy under Q15 deployment numerics.
+func DeployedAccuracy(net *Network, samples []Sample) float64 {
+	return quant.AccuracyQ15(quant.QuantizeWeights(net), samples)
+}
+
+// DefaultPruneOptions returns the paper-default pruning configuration
+// (Γ̂=40%, ε=1%, second chance, RMS blocks, simulated annealing).
+func DefaultPruneOptions() PruneOptions { return core.DefaultOptions() }
+
+// Prune runs intermittent-aware (iPrune) pruning on a trained network.
+func Prune(net *Network, train, val []Sample, opts PruneOptions) (*PruneResult, error) {
+	return PruneWith(CriterionAccOutputs, net, train, val, opts)
+}
+
+// PruneWith runs the iterative pruning loop under any criterion.
+func PruneWith(crit Criterion, net *Network, train, val []Sample, opts PruneOptions) (*PruneResult, error) {
+	p := core.NewPruner(crit)
+	p.Opt = opts
+	return p.Run(net, train, val)
+}
+
+// DefaultEngineConfig returns the HAWAII⁺ tiling configuration for the
+// MSP430 platform.
+func DefaultEngineConfig() EngineConfig { return tile.DefaultConfig() }
+
+// MSP430 returns the default device cost profile.
+func MSP430() DeviceProfile { return device.MSP430FR5994() }
+
+// Simulate runs one event-driven end-to-end intermittent inference of the
+// network under a supply and returns latency, energy, failure and
+// breakdown statistics. The network's pruning masks (if any) shape the
+// accelerator-operation schedule.
+func Simulate(net *Network, sup Supply, seed int64) SimResult {
+	cfg := tile.DefaultConfig()
+	specs := tile.SpecsFromNetwork(net, cfg)
+	ensureMasks(net, specs)
+	cs := hawaii.NewCostSim(cfg)
+	return cs.RunNetwork(net, specs, tile.Intermittent, sup, seed)
+}
+
+// ModelStats summarizes a deployable model.
+type ModelStats struct {
+	SizeBytes  int   // BSR payload + indices + biases
+	Weights    int   // remaining weight elements
+	MACs       int64 // multiply-accumulates per inference
+	AccOutputs int64 // accelerator outputs per inference (iPrune criterion)
+}
+
+// Stats computes the deployable-model statistics of a network under the
+// default engine configuration.
+func Stats(net *Network) (ModelStats, error) {
+	cfg := tile.DefaultConfig()
+	specs := tile.SpecsFromNetwork(net, cfg)
+	ensureMasks(net, specs)
+	m, err := quant.Deploy(net, specs)
+	if err != nil {
+		return ModelStats{}, err
+	}
+	c := tile.CountNetwork(net, specs, tile.Intermittent, cfg)
+	return ModelStats{
+		SizeBytes:  m.SizeBytes(),
+		Weights:    net.TotalWeights(),
+		MACs:       c.MACs,
+		AccOutputs: c.Jobs,
+	}, nil
+}
+
+// Engine constructs the functional HAWAII⁺ engine for a network: it
+// executes real Q15 inference job by job with progress preservation and
+// recovery under injected power failures. Calibrate it with a few samples
+// before use.
+func Engine(net *Network) (*hawaii.Engine, error) {
+	cfg := tile.DefaultConfig()
+	specs := tile.SpecsFromNetwork(net, cfg)
+	ensureMasks(net, specs)
+	return hawaii.NewEngine(net, specs, cfg)
+}
+
+// SaveModel writes a trained (possibly pruned) paper model to disk; the
+// network must come from BuildModel with the given seed.
+func SaveModel(path string, net *Network, seed int64) error {
+	return models.Save(path, net, seed)
+}
+
+// LoadModel restores a model written by SaveModel.
+func LoadModel(path string) (*Network, error) { return models.Load(path) }
+
+// ensureMasks installs accelerator-block masks on networks that have not
+// been through the pruner yet, so cost counting always has geometry.
+func ensureMasks(net *Network, specs []tile.LayerSpec) {
+	for i, p := range net.Prunables() {
+		if m := p.Mask(); m == nil || m.BM != specs[i].TM || m.BK != specs[i].TK {
+			if m == nil {
+				p.InitBlocks(specs[i].TM, specs[i].TK)
+			}
+		}
+	}
+}
+
+// ShareWeights applies k-means weight sharing (2^bits shared values per
+// layer) in place — the compression extension from the paper's
+// conclusion. It composes with pruning: masked weights stay zero. Returns
+// the mean squared weight perturbation.
+func ShareWeights(net *Network, bits int, seed int64) (float64, error) {
+	res, err := compress.Share(net, bits, 25, seed)
+	if err != nil {
+		return 0, err
+	}
+	return res.MeanSquaredError, nil
+}
+
+// SolarTrace builds a synthetic solar-day harvest profile (sine arc with
+// seeded cloud dips) peaking at peakWatts over duration seconds.
+func SolarTrace(peakWatts, duration float64, clouds int, seed int64) power.Trace {
+	return power.SolarDay(peakWatts, duration, clouds, seed)
+}
+
+// SimulateTrace runs one intermittent inference against a time-varying
+// harvest trace (see SolarTrace).
+func SimulateTrace(net *Network, tr power.Trace, seed int64) (SimResult, error) {
+	cfg := tile.DefaultConfig()
+	specs := tile.SpecsFromNetwork(net, cfg)
+	ensureMasks(net, specs)
+	sim, err := power.NewTraceSim(power.DefaultBuffer(), tr, seed)
+	if err != nil {
+		return SimResult{}, err
+	}
+	cs := hawaii.NewCostSim(cfg)
+	ops := hawaii.ScheduleFromNetwork(net, specs, tile.Intermittent, cfg)
+	return cs.RunWithSim(ops, tile.Intermittent, sim), nil
+}
+
+// Trace re-exports the time-varying harvest profile type.
+type Trace = power.Trace
+
+// FailEveryN re-exports the functional engine's deterministic failure
+// injector (fails at every N-th preservation boundary).
+type FailEveryN = hawaii.EveryN
