@@ -1,0 +1,97 @@
+// Command iprunelint runs the repository's custom static analyzers over
+// the given packages and reports findings as file:line:col diagnostics.
+//
+// Usage:
+//
+//	iprunelint [-list] [packages]
+//
+// Packages default to ./... relative to the module root, which is found
+// by walking up from the working directory. The analyzers and the
+// directives steering them are documented in internal/analysis and in
+// the "Static analysis & invariants" section of README.md.
+//
+// Exit status: 0 clean, 1 findings reported, 2 operational error
+// (unparseable source, type-check failure, bad invocation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"iprune/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root, "")
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+
+	broken := false
+	for _, pkg := range pkgs {
+		for _, perr := range pkg.Errs {
+			broken = true
+			fmt.Fprintln(os.Stderr, perr)
+		}
+	}
+	if broken {
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(analysis.All(), pkgs, loader.Directives())
+	diags = append(diags, loader.Directives().Problems...)
+	analysis.Sort(diags)
+	for _, d := range diags {
+		rel := d
+		if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "iprunelint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("iprunelint: no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

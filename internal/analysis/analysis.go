@@ -1,0 +1,179 @@
+// Package analysis is a small static-analysis framework for this
+// repository, built only on the standard library's go/parser, go/ast and
+// go/types (no golang.org/x/tools dependency). It enforces the invariants
+// the Go compiler cannot see but the paper's claims rest on:
+//
+//   - floatpurity: inference hot paths stay in Q1.15 fixed point — no
+//     float arithmetic or conversions in the kernel packages;
+//   - nvmdiscipline: stores to FRAM-backed state and energy counters flow
+//     through the hawaii progress-preservation discipline API;
+//   - hotalloc: functions marked //iprune:hotpath do not allocate inside
+//     loops;
+//   - errcheck: error returns are not silently discarded.
+//
+// Analyzers report findings through Pass.Reportf, which consults the
+// directive index (see directives.go) so that //iprune:allow-* escape
+// hatches suppress findings at file, function or line granularity.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding, resolved to a concrete source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Allow is the directive suffix that suppresses this analyzer's
+	// findings (e.g. "allow-float"); empty means no escape hatch.
+	Allow string
+	// Scope reports whether the analyzer applies to a package import
+	// path. The driver consults it; running an analyzer directly (as the
+	// fixture harness does) bypasses it.
+	Scope func(pkgPath string) bool
+	// Run performs the check, reporting findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	Fset  *token.FileSet
+	Pkg   *Package
+	Info  *types.Info
+	Dirs  *Directives
+	diags *[]Diagnostic
+	allow string // directive suffix suppressing this analyzer
+	name  string
+}
+
+// Reportf records a finding unless a matching allow directive covers the
+// position (same line, the line above, the enclosing function's doc
+// comment, or the file header).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow != "" && p.suppressed(pos, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) suppressed(pos token.Pos, position token.Position) bool {
+	if p.Dirs.FileHas(position.Filename, p.allow) {
+		return true
+	}
+	if p.Dirs.LineHas(position.Filename, position.Line, p.allow) ||
+		p.Dirs.LineHas(position.Filename, position.Line-1, p.allow) {
+		return true
+	}
+	if decl := p.EnclosingFunc(pos); decl != nil {
+		if obj := p.Info.Defs[decl.Name]; obj != nil && p.Dirs.ObjHas(obj, p.allow) {
+			return true
+		}
+	}
+	return false
+}
+
+// EnclosingFunc returns the innermost function declaration whose body
+// spans pos, or nil. Function literals inherit their enclosing
+// declaration's directives, so the declaration is what matters.
+func (p *Pass) EnclosingFunc(pos token.Pos) *ast.FuncDecl {
+	for _, f := range p.Pkg.Files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// FuncHas reports whether the declaration carries the directive.
+func (p *Pass) FuncHas(decl *ast.FuncDecl, name string) bool {
+	obj := p.Info.Defs[decl.Name]
+	return obj != nil && p.Dirs.ObjHas(obj, name)
+}
+
+// Run executes the analyzers over the packages and returns all findings
+// sorted by position. Packages that failed to type-check are skipped (the
+// loader already surfaced their errors as diagnostics).
+func Run(analyzers []*Analyzer, pkgs []*Package, dirs *Directives) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if len(pkg.Errs) > 0 {
+			continue
+		}
+		for _, a := range analyzers {
+			if a.Scope != nil && !a.Scope(pkg.Path) {
+				continue
+			}
+			diags = append(diags, RunOne(a, pkg, dirs)...)
+		}
+	}
+	Sort(diags)
+	return diags
+}
+
+// RunOne runs a single analyzer over one package, ignoring its Scope.
+// The fixture harness uses it to exercise analyzers on testdata packages
+// whose import paths the Scope would reject.
+func RunOne(a *Analyzer, pkg *Package, dirs *Directives) []Diagnostic {
+	var diags []Diagnostic
+	pass := &Pass{
+		Fset:  pkg.Fset,
+		Pkg:   pkg,
+		Info:  pkg.Info,
+		Dirs:  dirs,
+		diags: &diags,
+		allow: a.Allow,
+		name:  a.Name,
+	}
+	a.Run(pass)
+	return diags
+}
+
+// Sort orders diagnostics by file, line, column, analyzer.
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// All returns the four project analyzers in their canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{FloatPurity, NVMDiscipline, HotAlloc, ErrCheck}
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The analyzers are steered by //iprune: comment directives:
+//
+//	//iprune:allow-float <reason>  suppress floatpurity findings
+//	//iprune:allow-nvm <reason>    suppress nvmdiscipline findings
+//	//iprune:allow-alloc <reason>  suppress hotalloc findings
+//	//iprune:allow-err <reason>    suppress errcheck findings
+//	//iprune:hotpath               mark a function as a hot inner kernel
+//	//iprune:nvm                   mark a type or field as FRAM-backed
+//	//iprune:nvm-api               mark a function as discipline API
+//
+// allow-* directives require a reason — an escape hatch without a
+// justification is itself a finding. Placement decides scope: on a
+// function's doc comment the directive covers the whole function
+// (including literals nested in it); on or directly above a line it
+// covers that line; before the package clause it covers the file; on a
+// type or struct-field declaration it tags that object.
+
+const directivePrefix = "//iprune:"
+
+// Directive is one parsed //iprune: comment.
+type Directive struct {
+	Name   string // e.g. "allow-float", "hotpath"
+	Reason string
+	Pos    token.Position
+}
+
+// knownDirectives maps each directive name to whether a reason is
+// required.
+var knownDirectives = map[string]bool{
+	"allow-float": true,
+	"allow-nvm":   true,
+	"allow-alloc": true,
+	"allow-err":   true,
+	"hotpath":     false,
+	"nvm":         false,
+	"nvm-api":     false,
+}
+
+// Directives indexes every directive of a load by file, line and
+// declared object, plus the diagnostics for malformed ones.
+type Directives struct {
+	file map[string][]Directive
+	line map[string]map[int][]Directive
+	obj  map[types.Object][]Directive
+	// Problems are malformed directives (unknown name, missing reason),
+	// reported by the driver alongside analyzer findings.
+	Problems []Diagnostic
+}
+
+// NewDirectives returns an empty index.
+func NewDirectives() *Directives {
+	return &Directives{
+		file: map[string][]Directive{},
+		line: map[string]map[int][]Directive{},
+		obj:  map[types.Object][]Directive{},
+	}
+}
+
+// FileHas reports whether the file header carries the directive.
+func (d *Directives) FileHas(filename, name string) bool {
+	return hasDirective(d.file[filename], name)
+}
+
+// LineHas reports whether the directive appears on the given line.
+func (d *Directives) LineHas(filename string, line int, name string) bool {
+	return hasDirective(d.line[filename][line], name)
+}
+
+// ObjHas reports whether the declared object carries the directive.
+func (d *Directives) ObjHas(obj types.Object, name string) bool {
+	return hasDirective(d.obj[obj], name)
+}
+
+func hasDirective(dirs []Directive, name string) bool {
+	for _, dir := range dirs {
+		if dir.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirective parses one comment; ok is false when the comment is not
+// an //iprune: directive at all.
+func parseDirective(c *ast.Comment, fset *token.FileSet) (Directive, bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, directivePrefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	name, reason, _ := strings.Cut(rest, " ")
+	return Directive{
+		Name:   strings.TrimSpace(name),
+		Reason: strings.TrimSpace(reason),
+		Pos:    fset.Position(c.Pos()),
+	}, true
+}
+
+// Collect indexes every directive of the package's files and records
+// malformed ones as Problems. It must run after type checking so
+// directives can be attached to the declared objects.
+func (d *Directives) Collect(pkg *Package) {
+	fset := pkg.Fset
+	for _, f := range pkg.Files {
+		filename := fset.Position(f.Pos()).Filename
+		if d.line[filename] == nil {
+			d.line[filename] = map[int][]Directive{}
+		}
+		pkgClause := f.Package
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				dir, ok := parseDirective(c, fset)
+				if !ok {
+					continue
+				}
+				needsReason, known := knownDirectives[dir.Name]
+				switch {
+				case !known:
+					d.Problems = append(d.Problems, Diagnostic{
+						Pos:      dir.Pos,
+						Analyzer: "directives",
+						Message:  "unknown directive //iprune:" + dir.Name,
+					})
+					continue
+				case needsReason && dir.Reason == "":
+					d.Problems = append(d.Problems, Diagnostic{
+						Pos:      dir.Pos,
+						Analyzer: "directives",
+						Message:  "//iprune:" + dir.Name + " requires a reason",
+					})
+					continue
+				}
+				d.line[filename][dir.Pos.Line] = append(d.line[filename][dir.Pos.Line], dir)
+				if c.Pos() < pkgClause {
+					d.file[filename] = append(d.file[filename], dir)
+				}
+			}
+		}
+		d.collectDecls(pkg, f, fset)
+	}
+}
+
+// collectDecls attaches doc-comment directives to the objects they
+// document: functions, type declarations and struct fields.
+func (d *Directives) collectDecls(pkg *Package, f *ast.File, fset *token.FileSet) {
+	attach := func(ident *ast.Ident, groups ...*ast.CommentGroup) {
+		obj := pkg.Info.Defs[ident]
+		if obj == nil {
+			return
+		}
+		for _, g := range groups {
+			if g == nil {
+				continue
+			}
+			for _, c := range g.List {
+				if dir, ok := parseDirective(c, fset); ok && knownDirectiveWellFormed(dir) {
+					d.obj[obj] = append(d.obj[obj], dir)
+				}
+			}
+		}
+	}
+	for _, decl := range f.Decls {
+		switch n := decl.(type) {
+		case *ast.FuncDecl:
+			attach(n.Name, n.Doc)
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				// A directive on the GenDecl applies to its sole spec.
+				if len(n.Specs) == 1 {
+					attach(ts.Name, n.Doc, ts.Doc, ts.Comment)
+				} else {
+					attach(ts.Name, ts.Doc, ts.Comment)
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					for _, field := range st.Fields.List {
+						for _, name := range field.Names {
+							attach(name, field.Doc, field.Comment)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func knownDirectiveWellFormed(dir Directive) bool {
+	needsReason, known := knownDirectives[dir.Name]
+	return known && (!needsReason || dir.Reason != "")
+}

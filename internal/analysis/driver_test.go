@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module in a temp dir. Files maps
+// relative paths to contents; a go.mod is written from modpath.
+func writeModule(t *testing.T, modpath string, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module " + modpath + "\n\ngo 1.22\n"
+	for rel, content := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func loadModule(t *testing.T, dir string, patterns ...string) (*Loader, []*Package) {
+	t.Helper()
+	l, err := NewLoader(dir, "")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return l, pkgs
+}
+
+func TestModulePathFromGoMod(t *testing.T) {
+	dir := writeModule(t, "example.org/tiny", map[string]string{
+		"a.go": "package tiny\n",
+	})
+	l, pkgs := loadModule(t, dir)
+	if l.ModulePath != "example.org/tiny" {
+		t.Fatalf("ModulePath = %q, want example.org/tiny", l.ModulePath)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "example.org/tiny" {
+		t.Fatalf("loaded %v, want the root package", pkgs)
+	}
+}
+
+func TestMalformedSource(t *testing.T) {
+	dir := writeModule(t, "m", map[string]string{
+		"bad.go": "package m\n\nfunc broken( {\n", // parse error
+	})
+	_, pkgs := loadModule(t, dir)
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	if len(pkgs[0].Errs) == 0 {
+		t.Fatal("parse error not recorded in pkg.Errs")
+	}
+	// A broken package must be skipped by Run, not analyzed.
+	if diags := Run(All(), pkgs, NewDirectives()); len(diags) != 0 {
+		t.Fatalf("Run analyzed a broken package: %v", diags)
+	}
+}
+
+func TestTypeCheckError(t *testing.T) {
+	dir := writeModule(t, "m", map[string]string{
+		"a.go": "package m\n\nfunc f() int { return \"not an int\" }\n",
+	})
+	_, pkgs := loadModule(t, dir)
+	if len(pkgs) != 1 || len(pkgs[0].Errs) == 0 {
+		t.Fatal("type-check error not recorded in pkg.Errs")
+	}
+	if diags := Run(All(), pkgs, NewDirectives()); len(diags) != 0 {
+		t.Fatalf("Run analyzed a package with type errors: %v", diags)
+	}
+}
+
+func TestMultiFilePackage(t *testing.T) {
+	// g (in b.go) calls f (in a.go): type checking must see both files
+	// as one package, and directives from each file must be indexed.
+	dir := writeModule(t, "m", map[string]string{
+		"a.go": "package m\n\n//iprune:hotpath\nfunc f(n int) int { return n }\n",
+		"b.go": "package m\n\nfunc g() int { return f(1) }\n",
+	})
+	l, pkgs := loadModule(t, dir)
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.Errs) > 0 {
+		t.Fatalf("multi-file package failed to type-check: %v", pkg.Errs)
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("parsed %d files, want 2", len(pkg.Files))
+	}
+	obj := pkg.Types.Scope().Lookup("f")
+	if obj == nil {
+		t.Fatal("f not in package scope")
+	}
+	if !l.Directives().ObjHas(obj, "hotpath") {
+		t.Fatal("hotpath directive from a.go not attached to f")
+	}
+}
+
+func TestCrossPackageImport(t *testing.T) {
+	// The loader must resolve module-internal imports from source.
+	dir := writeModule(t, "m", map[string]string{
+		"lib/lib.go": "package lib\n\nfunc Answer() int { return 42 }\n",
+		"main.go":    "package main\n\nimport \"m/lib\"\n\nfunc main() { _ = lib.Answer() }\n",
+	})
+	_, pkgs := loadModule(t, dir)
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if len(p.Errs) > 0 {
+			t.Fatalf("%s has errors: %v", p.Path, p.Errs)
+		}
+	}
+}
+
+func TestDirectiveReasonRequired(t *testing.T) {
+	dir := writeModule(t, "m", map[string]string{
+		"a.go": "package m\n\nfunc f(a float64) float64 {\n" +
+			"\treturn a * 2 //iprune:allow-float\n}\n",
+	})
+	l, _ := loadModule(t, dir)
+	probs := l.Directives().Problems
+	if len(probs) != 1 {
+		t.Fatalf("got %d directive problems, want 1: %v", len(probs), probs)
+	}
+	if want := "//iprune:allow-float requires a reason"; probs[0].Message != want {
+		t.Fatalf("problem = %q, want %q", probs[0].Message, want)
+	}
+	// A reasonless allow-* must NOT suppress: the escape hatch only
+	// opens with a justification.
+	pos := probs[0].Pos
+	if l.Directives().LineHas(pos.Filename, pos.Line, "allow-float") {
+		t.Fatal("reasonless allow-float was indexed as a live directive")
+	}
+}
+
+func TestDirectiveWithReason(t *testing.T) {
+	dir := writeModule(t, "m", map[string]string{
+		"a.go": "package m\n\nfunc f(a float64) float64 {\n" +
+			"\treturn a * 2 //iprune:allow-float calibration-time only\n}\n",
+	})
+	l, _ := loadModule(t, dir)
+	if probs := l.Directives().Problems; len(probs) != 0 {
+		t.Fatalf("well-formed directive reported as problem: %v", probs)
+	}
+	fname := filepath.Join(dir, "a.go")
+	if !l.Directives().LineHas(fname, 4, "allow-float") {
+		t.Fatal("allow-float with reason not indexed on its line")
+	}
+}
+
+func TestUnknownDirective(t *testing.T) {
+	dir := writeModule(t, "m", map[string]string{
+		"a.go": "package m\n\n//iprune:allow-everything because I said so\nfunc f() {}\n",
+	})
+	l, _ := loadModule(t, dir)
+	probs := l.Directives().Problems
+	if len(probs) != 1 {
+		t.Fatalf("got %d directive problems, want 1: %v", len(probs), probs)
+	}
+	if !strings.Contains(probs[0].Message, "unknown directive //iprune:allow-everything") {
+		t.Fatalf("problem = %q, want unknown-directive message", probs[0].Message)
+	}
+}
+
+func TestLoadPattern(t *testing.T) {
+	dir := writeModule(t, "m", map[string]string{
+		"lib/lib.go":    "package lib\n",
+		"other/o.go":    "package other\n",
+		"lib/lib2.go":   "package lib\n\nconst Two = 2\n",
+		"testdata/t.go": "package ignored\n",
+	})
+	_, pkgs := loadModule(t, dir, "./lib")
+	if len(pkgs) != 1 || pkgs[0].Path != "m/lib" {
+		t.Fatalf("Load(./lib) = %v, want just m/lib", pkgs)
+	}
+	_, all := loadModule(t, dir, "./...")
+	var paths []string
+	for _, p := range all {
+		paths = append(paths, p.Path)
+	}
+	if got := strings.Join(paths, " "); got != "m/lib m/other" {
+		t.Fatalf("Load(./...) = %q, want %q (testdata skipped)", got, "m/lib m/other")
+	}
+}
+
+func TestMissingGoMod(t *testing.T) {
+	if _, err := NewLoader(t.TempDir(), ""); err == nil {
+		t.Fatal("NewLoader without go.mod and module path should fail")
+	}
+}

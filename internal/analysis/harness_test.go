@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden-fixture harness: each testdata/src/<name> directory is one
+// package whose source carries `// want `+"`regex`"+`` comments on the
+// lines where the analyzer under test must report. Every diagnostic must
+// match a want on its line and every want must be matched — so the test
+// fails both on false positives and, crucially, when a check is disabled.
+
+// loadFixture loads one testdata package under the module path "fix".
+func loadFixture(t *testing.T, name string) (*Package, *Directives) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	l, err := NewLoader(dir, "fix")
+	if err != nil {
+		t.Fatalf("NewLoader(%s): %v", dir, err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: loaded %d packages, want 1", name, len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.Errs) > 0 {
+		t.Fatalf("fixture %s does not type-check: %v", name, pkg.Errs)
+	}
+	return pkg, l.Directives()
+}
+
+var wantRE = regexp.MustCompile("// want ((?:`[^`]+`\\s*)+)")
+var wantPartRE = regexp.MustCompile("`([^`]+)`")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants maps file:line to the expectations written there.
+func collectWants(t *testing.T, pkg *Package) map[string][]*expectation {
+	t.Helper()
+	wants := map[string][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want ") {
+						t.Errorf("%s: malformed want comment %q (use backquoted regexps)",
+							pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, part := range wantPartRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(part[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, part[1], err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture runs one analyzer over one fixture and enforces the wants.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	pkg, dirs := loadFixture(t, name)
+	diags := RunOne(a, pkg, dirs)
+	checkExpectations(t, pkg, diags)
+}
+
+func checkExpectations(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+// fixtureFuncNames sanity-checks a fixture still declares a function; it
+// guards against fixtures being accidentally emptied.
+func fixtureFuncNames(pkg *Package) []string {
+	var names []string
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				names = append(names, fd.Name.Name)
+			}
+		}
+	}
+	return names
+}
+
+func TestFloatPurityFixture(t *testing.T)   { runFixture(t, FloatPurity, "floatpurity") }
+func TestNVMDisciplineFixture(t *testing.T) { runFixture(t, NVMDiscipline, "nvmdiscipline") }
+func TestHotAllocFixture(t *testing.T)      { runFixture(t, HotAlloc, "hotalloc") }
+func TestErrCheckFixture(t *testing.T)      { runFixture(t, ErrCheck, "errcheck") }
+
+// TestFixturesNonEmpty guards the harness itself: a fixture that loads
+// but declares nothing would vacuously pass.
+func TestFixturesNonEmpty(t *testing.T) {
+	for _, name := range []string{"floatpurity", "nvmdiscipline", "hotalloc", "errcheck"} {
+		pkg, _ := loadFixture(t, name)
+		if len(fixtureFuncNames(pkg)) == 0 {
+			t.Errorf("fixture %s declares no functions", name)
+		}
+	}
+}

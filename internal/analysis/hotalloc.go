@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc flags heap-allocating constructs inside loops of functions
+// marked //iprune:hotpath: make/new/append calls, map composite
+// literals, and closures. These are the per-inference inner kernels the
+// benchmarks measure; an allocation that creeps into one of their loops
+// turns a tight counting/MAC kernel into a GC workload and skews every
+// latency number downstream. Preallocate outside the loop, or annotate
+// the site with //iprune:allow-alloc <reason> when the allocation is
+// provably amortized (e.g. append into a slice sized up front).
+var HotAlloc = &Analyzer{
+	Name:  "hotalloc",
+	Doc:   "no allocations inside loops of //iprune:hotpath functions",
+	Allow: "allow-alloc",
+	Scope: func(path string) bool { return true },
+	Run:   runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.FuncHas(fd, "hotpath") {
+				continue
+			}
+			checkHotBody(pass, fd.Body, 0)
+		}
+	}
+}
+
+// checkHotBody walks a statement tree tracking loop depth; allocation
+// sites at depth > 0 are reported. Closure bodies keep the depth of the
+// loop they are created in: the closure runs (at least) as often as it
+// is allocated.
+func checkHotBody(pass *Pass, n ast.Node, depth int) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.ForStmt:
+			if node.Init != nil {
+				checkHotBody(pass, node.Init, depth)
+			}
+			checkHotBody(pass, node.Body, depth+1)
+			return false
+		case *ast.RangeStmt:
+			checkHotBody(pass, node.Body, depth+1)
+			return false
+		case *ast.FuncLit:
+			if depth > 0 {
+				pass.Reportf(node.Pos(), "closure allocated in hot loop")
+			}
+			checkHotBody(pass, node.Body, depth)
+			return false
+		case *ast.CallExpr:
+			if depth == 0 {
+				return true
+			}
+			if id, ok := node.Fun.(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make", "new", "append":
+						pass.Reportf(node.Pos(), "%s in hot loop (preallocate outside the loop)", b.Name())
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if depth == 0 {
+				return true
+			}
+			if t := pass.Info.Types[node].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(node.Pos(), "map literal allocated in hot loop")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NVMDiscipline enforces the progress-preservation write discipline:
+// state marked //iprune:nvm (FRAM-backed buffers, energy counters) may
+// only be stored to from functions marked //iprune:nvm-api — the hawaii
+// discipline layer. Any other assignment bypasses preservation
+// accounting: a write that does not flow through the discipline is
+// invisible to energy and recovery bookkeeping, which is exactly the
+// class of bug that makes an intermittent system lose or duplicate work
+// after a power failure.
+//
+// The check triggers when an assignment or ++/-- statement's target
+// (a) is a field marked //iprune:nvm, (b) selects any field of a type
+// marked //iprune:nvm, or (c) has a marked type itself (whole-struct
+// overwrite). Individual sites opt out with //iprune:allow-nvm <reason>.
+var NVMDiscipline = &Analyzer{
+	Name:  "nvmdiscipline",
+	Doc:   "stores to //iprune:nvm state must come from //iprune:nvm-api functions",
+	Allow: "allow-nvm",
+	Scope: func(path string) bool { return true },
+	Run:   runNVMDiscipline,
+}
+
+func runNVMDiscipline(pass *Pass) {
+	check := func(target ast.Expr, pos ast.Node) {
+		what, hit := pass.nvmTarget(target)
+		if !hit {
+			return
+		}
+		if decl := pass.EnclosingFunc(pos.Pos()); decl != nil && pass.FuncHas(decl, "nvm-api") {
+			return
+		}
+		pass.Reportf(pos.Pos(), "store to NVM-backed %s outside the discipline API (mark the function //iprune:nvm-api or route the write through it)", what)
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					check(lhs, n)
+				}
+			case *ast.IncDecStmt:
+				check(n.X, n)
+			}
+			return true
+		})
+	}
+}
+
+// nvmTarget walks an assignment target and reports whether it reaches
+// NVM-marked state, describing what was hit.
+func (p *Pass) nvmTarget(e ast.Expr) (string, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel, ok := p.Info.Selections[x]; ok {
+				if obj := sel.Obj(); obj != nil && p.Dirs.ObjHas(obj, "nvm") {
+					return obj.Name(), true
+				}
+				if name := markedNamed(p, sel.Recv()); name != "" {
+					return name + "." + x.Sel.Name, true
+				}
+			}
+			if name := markedNamed(p, p.Info.Types[x].Type); name != "" {
+				return name, true
+			}
+			e = x.X
+		case *ast.Ident:
+			if name := markedNamed(p, p.Info.Types[x].Type); name != "" {
+				return name, true
+			}
+			return "", false
+		default:
+			return "", false
+		}
+	}
+}
+
+// markedNamed returns the type name when t (possibly behind a pointer)
+// is a named type marked //iprune:nvm.
+func markedNamed(p *Pass, t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if p.Dirs.ObjHas(named.Obj(), "nvm") {
+		return named.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,48 @@
+// Package fixture exercises the errcheck analyzer: error returns must
+// not be silently discarded.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func valueAndError() (int, error) { return 0, nil }
+
+func bad() {
+	mayFail()       // want `error return of fix\.mayFail is discarded`
+	valueAndError() // want `error return of fix\.valueAndError is discarded`
+	defer mayFail() // want `error return of fix\.mayFail is discarded`
+	go mayFail()    // want `error return of fix\.mayFail is discarded`
+}
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail() // explicit discard is visible: fine
+	v, _ := valueAndError()
+	_ = v
+	return nil
+}
+
+func excluded() {
+	fmt.Println("stdout printing never fails usefully")
+	fmt.Fprintf(os.Stderr, "stderr too\n")
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "in-memory writers never fail")
+	sb.WriteString("likewise")
+	_ = sb.String()
+}
+
+func notExcluded(f *os.File) {
+	fmt.Fprintf(f, "a real file can fail\n") // want `error return of fmt\.Fprintf is discarded`
+}
+
+func escaped() {
+	mayFail() //iprune:allow-err fire-and-forget fixture call
+}

@@ -1,0 +1,59 @@
+// Package fixture exercises the hotalloc analyzer: no allocations inside
+// loops of //iprune:hotpath functions.
+package fixture
+
+//iprune:hotpath
+func hot(n int) []int {
+	out := make([]int, 0, n) // outside any loop: fine
+	for i := 0; i < n; i++ {
+		tmp := make([]int, 4) // want `make in hot loop`
+		_ = tmp
+		out = append(out, i) // want `append in hot loop`
+		m := map[int]int{}   // want `map literal allocated in hot loop`
+		_ = m
+		p := new(int) // want `new in hot loop`
+		_ = p
+		f := func() int { return i } // want `closure allocated in hot loop`
+		_ = f()
+	}
+	return out
+}
+
+//iprune:hotpath
+func hotRange(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		buf := make([]int, 1) // want `make in hot loop`
+		buf[0] = x
+		s += buf[0]
+	}
+	return s
+}
+
+// cold is unmarked: allocations in its loops are nobody's business.
+func cold(n int) {
+	for i := 0; i < n; i++ {
+		_ = make([]int, 4)
+	}
+}
+
+//iprune:hotpath
+func hotEscaped(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i) //iprune:allow-alloc appends into a preallocated slice
+	}
+	return out
+}
+
+//iprune:hotpath
+func nestedLoops(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			row := make([]int, n) // want `make in hot loop`
+			s += len(row) + i + j
+		}
+	}
+	return s
+}

@@ -1,0 +1,56 @@
+// Package fixture exercises the nvmdiscipline analyzer: stores to
+// //iprune:nvm state must come from //iprune:nvm-api functions.
+package fixture
+
+// framState is FRAM-backed: every field write must flow through the
+// discipline API.
+//
+//iprune:nvm
+type framState struct {
+	counter int64
+	data    []int16
+	acts    map[int][]int16
+}
+
+// meter marks a single field rather than the whole type.
+type meter struct {
+	//iprune:nvm
+	energy int64
+	other  int
+}
+
+type engine struct {
+	nvm framState
+	m   meter
+}
+
+// commit is the discipline API: its stores are allowed.
+//
+//iprune:nvm-api
+func (e *engine) commit(v int64) {
+	e.nvm.counter = v
+	e.nvm.data[0] = 1
+	e.m.energy += v
+}
+
+func (e *engine) rogue(v int64) {
+	e.nvm.counter = v   // want `store to NVM-backed framState\.counter`
+	e.nvm.data[0] = 1   // want `store to NVM-backed framState\.data`
+	e.nvm.acts[3] = nil // want `store to NVM-backed framState\.acts`
+	e.nvm = framState{} // want `store to NVM-backed framState`
+	e.m.energy += v     // want `store to NVM-backed energy`
+	e.m.other = 2       // unmarked field of unmarked type: fine
+}
+
+func increment(e *engine) {
+	e.nvm.counter++ // want `store to NVM-backed framState\.counter`
+}
+
+func wholeValue() {
+	var s framState
+	s.counter = 1 // want `store to NVM-backed framState\.counter`
+}
+
+func escaped(e *engine) {
+	e.m.energy = 0 //iprune:allow-nvm fixture reset outside the discipline
+}

@@ -30,6 +30,8 @@ type Q15 int16
 
 // FromFloat converts a float to Q1.15 with saturation and
 // round-to-nearest. NaN converts to zero.
+//
+//iprune:allow-float quantization boundary: converts trainer floats into Q1.15
 func FromFloat(f float64) Q15 {
 	if math.IsNaN(f) {
 		return 0
@@ -45,6 +47,8 @@ func FromFloat(f float64) Q15 {
 }
 
 // Float converts a Q1.15 value back to float64.
+//
+//iprune:allow-float dequantization boundary for calibration and reporting
 func (q Q15) Float() float64 {
 	return float64(q) / (1 << FracBits)
 }
@@ -122,6 +126,8 @@ func sat32(s int32) Q15 {
 // DotQ15 computes the saturating Q1.15 dot product of two equal-length
 // vectors using a wide accumulator, the primitive the LEA vector-MAC
 // command implements.
+//
+//iprune:hotpath
 func DotQ15(a, b []Q15) Q15 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("fixed: dot length mismatch %d vs %d", len(a), len(b)))
@@ -142,6 +148,8 @@ type Tensor struct {
 
 // QuantizeSlice converts a float32 slice into a Q15 tensor, choosing the
 // smallest power-of-two shift that brings every value into [-1, 1).
+//
+//iprune:allow-float quantization boundary: deploy-time conversion of trained weights
 func QuantizeSlice(src []float32) Tensor {
 	maxAbs := 0.0
 	for _, v := range src {
@@ -164,6 +172,8 @@ func QuantizeSlice(src []float32) Tensor {
 }
 
 // Dequantize returns the float32 values represented by the tensor.
+//
+//iprune:allow-float dequantization boundary for fake-quant evaluation
 func (t Tensor) Dequantize() []float32 {
 	out := make([]float32, len(t.Data))
 	scale := math.Pow(2, float64(t.Shift))

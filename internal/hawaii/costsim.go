@@ -57,6 +57,8 @@ type Op struct {
 // schedule, the counters match tile.CountLayer exactly; tests enforce
 // this so the analytic criterion and the executed schedule can never
 // drift apart.
+//
+//iprune:hotpath
 func BuildSchedule(spec *tile.LayerSpec, mask *nn.BlockMask, mode tile.Mode, cfg tile.Config) []Op {
 	if mask != nil && (mask.Rows != spec.M || mask.Cols != spec.K || mask.BM != spec.TM || mask.BK != spec.TK) {
 		panic(fmt.Sprintf("hawaii: mask geometry does not match spec for %s", spec.Name))
@@ -113,7 +115,7 @@ func BuildSchedule(spec *tile.LayerSpec, mask *nn.BlockMask, mode tile.Mode, cfg
 					// written back once, attributed to the op finishing it.
 					op.OutWrite = int64(rm) * int64(tn) * eb
 				}
-				ops = append(ops, op)
+				ops = append(ops, op) //iprune:allow-alloc appends into a slice preallocated to full schedule capacity
 				seen[br]++
 			}
 		}
@@ -171,6 +173,8 @@ func NewCostSim(cfg tile.Config) *CostSim {
 // Reads happen first (DMA), then the accelerator runs while the previous
 // outputs stream out — compute and preservation are pipelined (paper
 // Section III-B), so the exposed time is max(compute, write).
+//
+//iprune:allow-float analytic cost model integrates seconds and joules, not device numerics
 func (cs *CostSim) opCost(op *Op, mode tile.Mode) (t, e float64, b Breakdown) {
 	d := &cs.Dev
 	readBytes := op.WeightRead + op.InputRead
@@ -220,6 +224,8 @@ func (cs *CostSim) opCost(op *Op, mode tile.Mode) (t, e float64, b Breakdown) {
 // failure interrupting op: reboot, progress-indicator read, the two extra
 // BSR index reads to relocate the nonzero block (Section III-D), and the
 // re-fetch of the interrupted op's tile data.
+//
+//iprune:allow-float analytic cost model integrates seconds and joules, not device numerics
 func (cs *CostSim) recoveryCost(op *Op) (t, e float64) {
 	d := &cs.Dev
 	idxBytes := int64(cs.Cfg.IndicatorBytes) + 2*2
@@ -238,6 +244,8 @@ func (cs *CostSim) Run(ops []Op, mode tile.Mode, sup power.Supply, seed int64) R
 // RunWithSim simulates the schedule against a caller-provided power
 // simulator — the hook for trace-driven supplies (power.NewTraceSim) and
 // custom buffers.
+//
+//iprune:allow-float analytic cost model integrates seconds and joules, not device numerics
 func (cs *CostSim) RunWithSim(ops []Op, mode tile.Mode, sim *power.Sim) Result {
 	sup := sim.Supply
 	if mode == tile.Continuous && !sup.Continuous {

@@ -79,6 +79,10 @@ type Engine struct {
 }
 
 // nvmState is the persistent store: everything here survives failures.
+// It models the FRAM; every store must come from a function marked
+// //iprune:nvm-api so preservation accounting stays sound.
+//
+//iprune:nvm
 type nvmState struct {
 	acts      map[int][]fixed.Q15 // committed activation after net layer i
 	actShifts map[int]int
@@ -108,6 +112,8 @@ func NewEngine(net *nn.Network, specs []tile.LayerSpec, cfg tile.Config) (*Engin
 // Calibrate runs the float network over the samples and sets each
 // prunable layer's output shift (and the input shift) from the observed
 // activation ranges, the standard post-training calibration step.
+//
+//iprune:allow-float post-training calibration runs the float reference network
 func (e *Engine) Calibrate(samples []nn.Sample) {
 	maxIn := 0.0
 	maxOut := make([]float64, len(e.Specs))
@@ -137,6 +143,7 @@ func (e *Engine) Calibrate(samples []nn.Sample) {
 	}
 }
 
+//iprune:allow-float calibration helper
 func abs64(x float64) float64 {
 	if x < 0 {
 		return -x
@@ -144,6 +151,7 @@ func abs64(x float64) float64 {
 	return x
 }
 
+//iprune:allow-float calibration helper
 func shiftFor(maxAbs float64) int {
 	s := 0
 	for maxAbs >= 1.0 {
@@ -178,6 +186,8 @@ func rescaleQ(q fixed.Q15, from, to int) fixed.Q15 {
 // Infer executes one sample. The injector is consulted at every
 // preservation boundary; the run completes regardless of failures, and
 // the result is bit-identical to a failure-free run.
+//
+//iprune:nvm-api
 func (e *Engine) Infer(x *tensor.Tensor, inj FailureInjector) (*InferResult, error) {
 	if inj == nil {
 		inj = NoFailures{}
@@ -187,7 +197,7 @@ func (e *Engine) Infer(x *tensor.Tensor, inj FailureInjector) (*InferResult, err
 	in := make([]fixed.Q15, x.Len())
 	scale := pow2(-e.inShift)
 	for i, v := range x.Data {
-		in[i] = fixed.FromFloat(float64(v) * scale)
+		in[i] = fixed.FromFloat(float64(v) * scale) //iprune:allow-float sensor-reading quantization boundary
 	}
 	e.nvm.acts[-1] = in
 	e.nvm.actShifts[-1] = e.inShift
@@ -231,7 +241,7 @@ func (e *Engine) Infer(x *tensor.Tensor, inj FailureInjector) (*InferResult, err
 	logits := make([]float32, len(out))
 	s := pow2(outShift)
 	for i, q := range out {
-		logits[i] = float32(q.Float() * s)
+		logits[i] = float32(q.Float() * s) //iprune:allow-float logit dequantization for the caller
 	}
 	best := 0
 	for i := range logits {
@@ -242,6 +252,7 @@ func (e *Engine) Infer(x *tensor.Tensor, inj FailureInjector) (*InferResult, err
 	return &InferResult{Logits: logits, Pred: best, Stats: stats}, nil
 }
 
+//iprune:allow-float calibration helper for power-of-two scales
 func pow2(n int) float64 {
 	v := 1.0
 	for i := 0; i < n; i++ {
@@ -257,6 +268,9 @@ func pow2(n int) float64 {
 // flatten) as one atomic recomputable step: it reads the committed input
 // activation from NVM, computes in VM, and commits the output. A failure
 // before the commit simply recomputes.
+//
+//iprune:nvm-api
+//iprune:hotpath
 func (e *Engine) runCPUStage(li int, inj FailureInjector, stats *ExecStats) (failed bool, err error) {
 	in := e.nvm.acts[li-1]
 	shift := e.nvm.actShifts[li-1]
@@ -321,6 +335,9 @@ func (e *Engine) runCPUStage(li int, inj FailureInjector, stats *ExecStats) (fai
 // sequence of ops with job-counter preservation. Returns failed=true when
 // the injector fired; the committed NVM cursors make re-entry resume at
 // the interrupted op.
+//
+//iprune:nvm-api
+//iprune:hotpath
 func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool, stats *ExecStats) (failed bool, err error) {
 	spec := &e.Specs[pi]
 	lw := &e.Model.Layers[pi]

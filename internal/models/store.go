@@ -48,11 +48,14 @@ func Save(path string, net *nn.Network, seed int64) error {
 	if err != nil {
 		return fmt.Errorf("models: save: %w", err)
 	}
-	defer f.Close()
 	if err := gob.NewEncoder(f).Encode(snap); err != nil {
+		_ = f.Close() // the encode error is the one to surface
 		return fmt.Errorf("models: save %s: %w", path, err)
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("models: save %s: %w", path, err)
+	}
+	return nil
 }
 
 // Load rebuilds a network from a snapshot written by Save.
@@ -61,7 +64,7 @@ func Load(path string) (*nn.Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("models: load: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //iprune:allow-err read-only close; decode errors are surfaced below
 	var snap snapshot
 	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("models: load %s: %w", path, err)

@@ -69,10 +69,18 @@ type Sim struct {
 	cyclePow  float64 // harvest power for the current cycle (jittered)
 	trace     *Trace  // optional time-varying profile
 
-	// Stats.
-	Failures   int
-	OnTime     float64 // seconds spent powered
-	OffTime    float64 // seconds spent recharging
+	// Stats: the energy-accounting counters behind every latency and
+	// energy number the paper reports. They are NVM-disciplined — only
+	// Consume and Recharge (the //iprune:nvm-api functions) may store to
+	// them, so no code path can spend energy without accounting for it.
+
+	//iprune:nvm
+	Failures int
+	//iprune:nvm
+	OnTime float64 // seconds spent powered
+	//iprune:nvm
+	OffTime float64 // seconds spent recharging
+	//iprune:nvm
 	EnergyUsed float64 // joules drawn by the device
 }
 
@@ -100,6 +108,8 @@ func (s *Sim) drawCyclePower() float64 {
 // which case the caller must treat the activity as lost and call
 // Recharge before resuming. Harvested power arriving during the activity
 // offsets the draw.
+//
+//iprune:nvm-api
 func (s *Sim) Consume(energy, dt float64) bool {
 	if energy < 0 || dt < 0 {
 		panic(fmt.Sprintf("power: negative consume (%g J, %g s)", energy, dt))
@@ -130,6 +140,8 @@ func (s *Sim) Consume(energy, dt float64) bool {
 // Recharge models the off period after a failure: the device is dark
 // while the harvester refills the buffer from VOff to VOn. It returns the
 // off-time spent and rolls the jitter for the next cycle.
+//
+//iprune:nvm-api
 func (s *Sim) Recharge() float64 {
 	if s.Supply.Continuous {
 		return 0

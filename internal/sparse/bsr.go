@@ -92,6 +92,8 @@ func (m *Matrix) BlockCols() int { return ceilDiv(m.Cols, m.BK) }
 func (m *Matrix) NNZBlocks() int { return len(m.ColIdx) }
 
 // Density returns the fraction of blocks stored.
+//
+//iprune:allow-float reporting ratio, not device numerics
 func (m *Matrix) Density() float64 {
 	total := m.BlockRows() * m.BlockCols()
 	if total == 0 {
@@ -127,6 +129,8 @@ func (m *Matrix) Block(s int) (vals []fixed.Q15, br, bc int) {
 }
 
 // ToDense reconstructs the dense float32 matrix (pruned blocks are zero).
+//
+//iprune:allow-float dequantization boundary: exports BSR weights back to trainer floats
 func (m *Matrix) ToDense() []float32 {
 	out := make([]float32, m.Rows*m.Cols)
 	scale := float32(1)
@@ -156,6 +160,8 @@ func (m *Matrix) ToDense() []float32 {
 // (x has Cols entries at shift xShift; y gets Rows entries). The returned
 // shift is Shift+xShift, i.e. products are narrowed back to Q15 with the
 // combined scale folded out. Used by the functional engine and tests.
+//
+//iprune:hotpath
 func (m *Matrix) MulVec(x []fixed.Q15) []int64 {
 	if len(x) < m.Cols {
 		panic(fmt.Sprintf("sparse: MulVec input %d < cols %d", len(x), m.Cols))

@@ -87,6 +87,8 @@ func (t *Tensor) flat(idx []int) int {
 // A is m×k, B is k×n, C is m×n. The k-inner/j-unrolled loop order keeps B
 // accesses sequential, which matters on the single-core interpreter-free
 // hot path this repo trains on.
+//
+//iprune:hotpath
 func Gemm(a, b, c []float32, m, k, n int, accumulate bool) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		panic("tensor: gemm buffer too small")

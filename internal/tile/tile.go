@@ -100,7 +100,7 @@ func ceilDiv(a, b int) int { return (a + b - 1) / b }
 // conv, vector-MAC length for FC), then TN is maximized (reusing the
 // loaded weight block across output columns), then TM.
 func SelectTiles(kind nn.Kind, m, k, n, khkw int, cfg Config) (tm, tk, tn int) {
-	budget := int(float64(cfg.VMBytes) * cfg.VMUtil / float64(cfg.ElemBytes))
+	budget := int(float64(cfg.VMBytes) * cfg.VMUtil / float64(cfg.ElemBytes)) //iprune:allow-float config-time VM budget, not on the inference path
 	if budget < 16 {
 		budget = 16
 	}
@@ -266,6 +266,8 @@ func (m Mode) String() string {
 // share TM/TK/N, intra-layer weights contribute identically to the job
 // count while layers differ — the layer-wise criterion property of
 // Section III-C.
+//
+//iprune:hotpath
 func CountLayer(spec *LayerSpec, mask *nn.BlockMask, mode Mode, cfg Config) Counts {
 	if mask != nil {
 		if mask.Rows != spec.M || mask.Cols != spec.K || mask.BM != spec.TM || mask.BK != spec.TK {
@@ -356,6 +358,8 @@ func JobsPerBlock(spec *LayerSpec) int64 {
 // Diversity computes the coefficient of variation of per-layer job
 // counts, the paper's "diversity among layers" (Table II: SQN low, HAR
 // medium, CKS high).
+//
+//iprune:allow-float reporting statistic over job counts, not device numerics
 func Diversity(jobs []int64) float64 {
 	if len(jobs) == 0 {
 		return 0

@@ -1,0 +1,29 @@
+#!/bin/sh
+# check.sh is the repo's verify entrypoint: formatting, vet, build,
+# tests (with the race detector) and the project's own static analysis.
+# Run from anywhere; it cds to the repo root first.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== iprunelint"
+go run ./cmd/iprunelint ./...
+
+echo "OK"
