@@ -4,6 +4,7 @@
 // Usage:
 //
 //	iprune -model HAR -criterion iprune -out har-pruned.model
+//	iprune -model HAR -power weak -trace pruned.json -metrics pruned.csv
 //
 // Flags:
 //
@@ -15,12 +16,20 @@
 //	-iters N          max pruning iterations (default 6)
 //	-epsilon F        recoverable accuracy-loss threshold (default 0.05)
 //	-seed N           random seed (default 1)
+//	-power NAME       supply for the post-pruning evaluation run
+//	                  (continuous | strong | weak | <N>mW; default strong)
+//	-trace FILE       write a Chrome trace-event JSON of one intermittent
+//	                  inference of the pruned model under -power
+//	-metrics FILE     write per-layer metrics CSV of that inference
+//	-v                print the per-layer summary of that inference
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 
 	"iprune"
@@ -35,6 +44,10 @@ func main() {
 	iters := flag.Int("iters", 6, "max pruning iterations")
 	epsilon := flag.Float64("epsilon", 0.05, "recoverable accuracy-loss threshold")
 	seed := flag.Int64("seed", 1, "random seed")
+	powerName := flag.String("power", "strong", "supply for the evaluation run: continuous|strong|weak or e.g. 6mW")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON of one pruned-model inference")
+	metricsPath := flag.String("metrics", "", "write per-layer metrics CSV of one pruned-model inference")
+	verbose := flag.Bool("v", false, "print per-layer summary of one pruned-model inference")
 	flag.Parse()
 
 	var crit iprune.Criterion
@@ -49,6 +62,11 @@ func main() {
 		crit = iprune.CriterionUniform
 	default:
 		log.Fatalf("unknown criterion %q", *criterion)
+	}
+
+	sup, err := iprune.ParseSupply(*powerName)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	ds, err := datasetFor(*model, *seed)
@@ -110,6 +128,61 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", path)
+
+	// Optional observability pass: trace one intermittent inference of the
+	// pruned model so the effect of pruning is visible per layer and per
+	// power cycle, not just in the aggregate numbers above.
+	if *tracePath == "" && *metricsPath == "" && !*verbose {
+		return
+	}
+	rec := iprune.NewTraceRecorder()
+	r := iprune.SimulateObserved(res.Net, sup, *seed, rec)
+	fmt.Printf("evaluation under %s: latency %.3fs, %d power cycles, %.2f mJ\n",
+		sup.Name, r.Latency, r.Failures, r.Energy*1e3)
+	names := iprune.PrunableLayerNames(res.Net)
+	stats := iprune.CollectTrace(rec.Events())
+
+	if *tracePath != "" {
+		err := export(*tracePath, func(w io.Writer) error {
+			return iprune.WriteChromeTrace(w, rec.Events(), names)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote trace %s (%d events; open in https://ui.perfetto.dev)\n",
+			*tracePath, len(rec.Events()))
+	}
+	if *metricsPath != "" {
+		err := export(*metricsPath, func(w io.Writer) error {
+			return iprune.WriteTraceCSV(w, stats, names)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics %s (%d layers)\n", *metricsPath, len(stats.Layers))
+	}
+	if *verbose {
+		m := iprune.NewMetrics()
+		stats.Fill(m)
+		iprune.ObserveModel(m, res.Net)
+		if err := iprune.WriteTraceSummary(os.Stdout, stats, m, names); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// export writes an artifact, surfacing any write or close error instead
+// of leaving a silently truncated file.
+func export(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func datasetFor(model string, seed int64) (*iprune.Dataset, error) {

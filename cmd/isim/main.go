@@ -6,6 +6,7 @@
 //
 //	isim -model HAR -power weak
 //	isim -in har-iprune.model -power 6mW -n 5
+//	isim -model HAR -power weak -trace run.json -metrics run.csv -v
 //
 // Flags:
 //
@@ -14,14 +15,19 @@
 //	-power NAME    continuous | strong | weak, or a custom value like 6mW
 //	-n N           number of inferences to simulate (default 1)
 //	-seed N        random seed for harvest jitter (default 1)
+//	-trace FILE    write a Chrome trace-event JSON of the first inference
+//	               (open in https://ui.perfetto.dev or chrome://tracing)
+//	-metrics FILE  write per-layer latency/energy/NVM-traffic CSV of the
+//	               first inference
+//	-v             print a per-layer and per-power-cycle summary table
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
-	"strconv"
-	"strings"
+	"os"
 
 	"iprune"
 )
@@ -32,6 +38,9 @@ func main() {
 	powerName := flag.String("power", "strong", "supply: continuous|strong|weak or e.g. 6mW")
 	n := flag.Int("n", 1, "inferences to simulate")
 	seed := flag.Int64("seed", 1, "harvest jitter seed")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON of the first inference")
+	metricsPath := flag.String("metrics", "", "write per-layer metrics CSV of the first inference")
+	verbose := flag.Bool("v", false, "print per-layer and power-cycle summary")
 	flag.Parse()
 
 	var net *iprune.Network
@@ -45,7 +54,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sup, err := parseSupply(*powerName)
+	sup, err := iprune.ParseSupply(*powerName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,10 +67,24 @@ func main() {
 		net.Name, st.SizeBytes/1024, st.MACs/1000, st.AccOutputs/1000)
 	fmt.Printf("supply: %s (%g mW)\n", sup.Name, sup.Power*1e3)
 
+	// Observability is attached to the first inference only: one run is
+	// what a trace viewer wants, and repeated inferences differ only by
+	// harvest jitter.
+	observing := *tracePath != "" || *metricsPath != "" || *verbose
+	var rec *iprune.TraceRecorder
+	if observing {
+		rec = iprune.NewTraceRecorder()
+	}
+
 	var totalLat, totalEnergy float64
 	var totalFail int
 	for i := 0; i < *n; i++ {
-		r := iprune.Simulate(net, sup, *seed+int64(i))
+		var r iprune.SimResult
+		if i == 0 && observing {
+			r = iprune.SimulateObserved(net, sup, *seed+int64(i), rec)
+		} else {
+			r = iprune.Simulate(net, sup, *seed+int64(i))
+		}
 		totalLat += r.Latency
 		totalEnergy += r.Energy
 		totalFail += r.Failures
@@ -81,23 +104,52 @@ func main() {
 		fmt.Printf("mean: latency %.3fs, %.1f power cycles, %.2f mJ\n",
 			totalLat/float64(*n), float64(totalFail)/float64(*n), totalEnergy*1e3/float64(*n))
 	}
+
+	if !observing {
+		return
+	}
+	names := iprune.PrunableLayerNames(net)
+	stats := iprune.CollectTrace(rec.Events())
+
+	if *tracePath != "" {
+		err := export(*tracePath, func(w io.Writer) error {
+			return iprune.WriteChromeTrace(w, rec.Events(), names)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote trace %s (%d events; open in https://ui.perfetto.dev)\n",
+			*tracePath, len(rec.Events()))
+	}
+	if *metricsPath != "" {
+		err := export(*metricsPath, func(w io.Writer) error {
+			return iprune.WriteTraceCSV(w, stats, names)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics %s (%d layers)\n", *metricsPath, len(stats.Layers))
+	}
+	if *verbose {
+		m := iprune.NewMetrics()
+		stats.Fill(m)
+		iprune.ObserveModel(m, net)
+		if err := iprune.WriteTraceSummary(os.Stdout, stats, m, names); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
-func parseSupply(name string) (iprune.Supply, error) {
-	switch strings.ToLower(name) {
-	case "continuous":
-		return iprune.ContinuousPower, nil
-	case "strong":
-		return iprune.StrongPower, nil
-	case "weak":
-		return iprune.WeakPower, nil
+// export writes an artifact atomically enough for a CLI: any write or
+// close error is surfaced instead of leaving a silently truncated file.
+func export(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
-	if s, ok := strings.CutSuffix(strings.ToLower(name), "mw"); ok {
-		mw, err := strconv.ParseFloat(s, 64)
-		if err != nil || mw <= 0 {
-			return iprune.Supply{}, fmt.Errorf("bad power %q", name)
-		}
-		return iprune.Supply{Name: name, Power: mw * 1e-3, Jitter: 0.15}, nil
+	if err := write(f); err != nil {
+		_ = f.Close()
+		return err
 	}
-	return iprune.Supply{}, fmt.Errorf("unknown supply %q (continuous|strong|weak|<N>mW)", name)
+	return f.Close()
 }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"iprune"
+)
+
+// TestSupplyParsing pins the -power flag grammar end to end as the CLI
+// resolves it: the paper's named operating points, custom milliwatt
+// values, and rejection of malformed inputs.
+func TestSupplyParsing(t *testing.T) {
+	good := []struct {
+		in    string
+		watts float64
+	}{
+		{"continuous", 1.65},
+		{"strong", 8e-3},
+		{"weak", 4e-3},
+		{"Weak", 4e-3},
+		{"6mW", 6e-3},
+		{"6mw", 6e-3},
+		{"0.25mW", 0.25e-3},
+	}
+	for _, c := range good {
+		sup, err := iprune.ParseSupply(c.in)
+		if err != nil {
+			t.Errorf("-power %s: %v", c.in, err)
+			continue
+		}
+		if math.Abs(sup.Power-c.watts) > 1e-15 {
+			t.Errorf("-power %s: %g W, want %g W", c.in, sup.Power, c.watts)
+		}
+	}
+	for _, in := range []string{"", "mains", "6", "6w", "0mW", "-2mW", "NaNmW", "InfmW", "xmW"} {
+		if sup, err := iprune.ParseSupply(in); err == nil {
+			t.Errorf("-power %s: accepted as %+v, want error", in, sup)
+		}
+	}
+	// Named supplies resolve to the package-level operating points, so a
+	// scripted `-power weak` is exactly the paper's 4 mW point.
+	if sup, _ := iprune.ParseSupply("weak"); sup != iprune.WeakPower {
+		t.Errorf("weak resolved to %+v", sup)
+	}
+}
+
+func TestExportWritesAndPropagatesErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	err := export(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("ok"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "ok" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+
+	sentinel := errors.New("render failed")
+	err = export(filepath.Join(t.TempDir(), "bad.txt"), func(io.Writer) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("export swallowed the render error: %v", err)
+	}
+
+	if err := export(filepath.Join(t.TempDir(), "no", "such", "dir.txt"), func(io.Writer) error { return nil }); err == nil {
+		t.Error("export must surface create errors")
+	}
+}

@@ -1,0 +1,62 @@
+package fixture
+
+// The tracer no-op pattern of internal/obs: events are plain value
+// structs passed through an interface by value, emission is guarded by
+// Enabled(), and the disabled tracer discards. None of that allocates,
+// so a hot loop carrying a guarded emit must stay clean.
+
+type event struct {
+	kind  uint8
+	time  float64
+	bytes int64
+}
+
+type tracer interface {
+	Enabled() bool
+	Emit(event)
+}
+
+type nop struct{}
+
+func (nop) Enabled() bool { return false }
+func (nop) Emit(event)    {}
+
+//iprune:hotpath
+func hotTracedKernel(tr tracer, n int) int64 {
+	var sum int64
+	for i := 0; i < n; i++ {
+		sum += int64(i)
+		if tr.Enabled() {
+			// Constructing the event value and calling through the
+			// interface is allocation-free: no make/new/append, no
+			// boxing, no closure.
+			tr.Emit(event{kind: 1, time: float64(i), bytes: sum})
+		}
+	}
+	return sum
+}
+
+// hotBufferedTracing is the antipattern the guarded-emit design exists
+// to avoid: buffering events in a slice grown inside the hot loop.
+//
+//iprune:hotpath
+func hotBufferedTracing(n int) []event {
+	var buf []event
+	for i := 0; i < n; i++ {
+		buf = append(buf, event{kind: 1, time: float64(i)}) // want `append in hot loop`
+	}
+	return buf
+}
+
+// hotRecorder is the sanctioned opt-in recording shape: the append is
+// amortized over a buffer preallocated outside the loop and carries an
+// explicit directive, mirroring obs.Recorder.Emit.
+//
+//iprune:hotpath
+func hotRecorder(n int) []event {
+	buf := make([]event, 0, n)
+	for i := 0; i < n; i++ {
+		buf = append(buf, event{kind: 1}) //iprune:allow-alloc amortized growth of a preallocated recording buffer
+	}
+	return buf
+}

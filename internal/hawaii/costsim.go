@@ -23,6 +23,7 @@ import (
 
 	"iprune/internal/device"
 	"iprune/internal/nn"
+	"iprune/internal/obs"
 	"iprune/internal/power"
 	"iprune/internal/tile"
 )
@@ -162,6 +163,11 @@ type Result struct {
 type CostSim struct {
 	Dev device.Profile
 	Cfg tile.Config
+	// Trace receives op, layer and recovery events from every Run; the
+	// power simulator's own events (power-on/off, failure, charge) join
+	// the same stream. Nil disables tracing at the cost of one branch
+	// per op.
+	Trace obs.Tracer
 }
 
 // NewCostSim constructs a simulator with the default MSP430 profile.
@@ -251,13 +257,47 @@ func (cs *CostSim) RunWithSim(ops []Op, mode tile.Mode, sim *power.Sim) Result {
 	if mode == tile.Continuous && !sup.Continuous {
 		panic("hawaii: the conventional data-reuse flow cannot survive power failures (Section II-B); use Intermittent mode with a harvested supply")
 	}
+	var tr obs.Tracer = obs.Nop{}
+	if cs.Trace != nil {
+		tr = cs.Trace
+	}
+	if sim.Trace == nil {
+		sim.Trace = tr
+	}
+	traced := tr.Enabled()
 	var res Result
+	// The trace clock is res.Latency itself: every event is stamped with
+	// the simulated wall-clock at which it begins, and layer-end events
+	// carry the layer's inclusive span and energy delta so per-layer
+	// sums reproduce the aggregate totals exactly.
+	curLayer := -1
+	var layerT0, layerE0 float64
+	endLayer := func() {
+		if traced && curLayer >= 0 {
+			tr.Emit(obs.Event{
+				Kind: obs.KindLayerEnd, Time: res.Latency,
+				Dur: res.Latency - layerT0, Layer: curLayer, Op: -1,
+				Energy: sim.EnergyUsed - layerE0,
+			})
+		}
+	}
 	for i := range ops {
 		op := &ops[i]
+		if op.Layer != curLayer {
+			endLayer()
+			curLayer = op.Layer
+			layerT0, layerE0 = res.Latency, sim.EnergyUsed
+			if traced {
+				tr.Emit(obs.Event{Kind: obs.KindLayerStart, Time: res.Latency, Layer: curLayer, Op: -1})
+			}
+		}
 		t, e, b := cs.opCost(op, mode)
 		const maxRetries = 1000
 		retries := 0
 		for {
+			if traced {
+				tr.Emit(obs.Event{Kind: obs.KindOpStart, Time: res.Latency, Layer: curLayer, Op: int64(i)})
+			}
 			if !sim.Consume(e, t) {
 				break // op committed
 			}
@@ -280,12 +320,32 @@ func (cs *CostSim) RunWithSim(ops []Op, mode tile.Mode, sim *power.Sim) Result {
 					panic(fmt.Sprintf("hawaii: op %d cannot complete recovery under %s supply; buffer too small for the profile", i, sup.Name))
 				}
 			}
+			if traced {
+				tr.Emit(obs.Event{
+					Kind: obs.KindRecovery, Time: res.Latency, Dur: rt,
+					Layer: curLayer, Op: int64(i), Energy: re,
+					Read: op.RefetchBytes,
+				})
+			}
 			res.ActiveTime += rt
 			res.Latency += rt
 			res.Break.RecoveryTime += rt
 			retries++
 			if retries > maxRetries {
 				panic(fmt.Sprintf("hawaii: op %d cannot complete under %s supply; its single-op energy exceeds the buffer", i, sup.Name))
+			}
+		}
+		if traced {
+			tr.Emit(obs.Event{
+				Kind: obs.KindOpCommit, Time: res.Latency, Dur: t,
+				Layer: curLayer, Op: int64(i), Energy: e,
+				Read: op.WeightRead + op.InputRead,
+			})
+			if wb := op.OutWrite + op.IndWrite; wb > 0 {
+				tr.Emit(obs.Event{
+					Kind: obs.KindPreserve, Time: res.Latency + t,
+					Layer: curLayer, Op: int64(i), Write: wb,
+				})
 			}
 		}
 		res.ActiveTime += t
@@ -296,6 +356,10 @@ func (cs *CostSim) RunWithSim(ops []Op, mode tile.Mode, sim *power.Sim) Result {
 		res.Break.WriteTime += b.WriteTime
 		res.Break.ComputeTime += b.ComputeTime
 		res.Break.OverheadTime += b.OverheadTime
+	}
+	endLayer()
+	if traced && len(ops) > 0 {
+		tr.Emit(obs.Event{Kind: obs.KindPowerOff, Time: res.Latency, Layer: -1, Op: -1})
 	}
 	res.Energy = sim.EnergyUsed
 	res.Failures = sim.Failures

@@ -5,6 +5,7 @@ import (
 
 	"iprune/internal/fixed"
 	"iprune/internal/nn"
+	"iprune/internal/obs"
 	"iprune/internal/quant"
 	"iprune/internal/tensor"
 	"iprune/internal/tile"
@@ -72,9 +73,17 @@ type Engine struct {
 	Cfg   tile.Config
 	Model *quant.Model
 
+	// Trace receives the functional execution events (op commits,
+	// preservation writes, injected failures, recovery re-execution,
+	// layer boundaries) stamped in preservation steps — the engine has
+	// no notion of seconds. Nil disables tracing; emission is guarded so
+	// the disabled path allocates nothing per op.
+	Trace obs.Tracer
+
 	inShift   int
 	outShifts []int // per prunable layer
 
+	clk obs.StepClock
 	nvm nvmState
 }
 
@@ -203,11 +212,20 @@ func (e *Engine) Infer(x *tensor.Tensor, inj FailureInjector) (*InferResult, err
 	e.nvm.actShifts[-1] = e.inShift
 	var stats ExecStats
 
+	e.clk = obs.StepClock{T: e.Trace}
+	e.clk.Emit(obs.KindPowerOn, -1, -1, 0, 0)
 	pi := 0 // prunable index of the current stage (advances with stages)
 	resuming := false
 	for e.nvm.stage < len(e.Net.Layers) {
 		li := e.nvm.stage
 		layer := e.Net.Layers[li]
+		if resuming {
+			// Reboot after the injected failure: back on power, recovery
+			// re-enters the interrupted stage.
+			e.clk.Emit(obs.KindPowerOn, li, -1, 0, 0)
+		} else {
+			e.clk.Emit(obs.KindLayerStart, li, -1, 0, 0)
+		}
 		var err error
 		var failed bool
 		if _, ok := layer.(nn.Prunable); ok {
@@ -222,10 +240,13 @@ func (e *Engine) Infer(x *tensor.Tensor, inj FailureInjector) (*InferResult, err
 			// Power failure: volatile state is lost; NVM counters decide
 			// where execution resumes. Recovery re-enters the same stage.
 			stats.Failures++
+			e.clk.Emit(obs.KindFailure, li, -1, 0, 0)
+			e.clk.Emit(obs.KindPowerOff, li, -1, 0, 0)
 			resuming = true
 			continue
 		}
 		resuming = false
+		e.clk.Emit(obs.KindLayerEnd, li, -1, 0, 0)
 		if _, ok := layer.(nn.Prunable); ok {
 			pi++
 		}
@@ -234,6 +255,7 @@ func (e *Engine) Infer(x *tensor.Tensor, inj FailureInjector) (*InferResult, err
 		e.nvm.opCounter = 0
 		e.nvm.txDone = false
 	}
+	e.clk.Emit(obs.KindPowerOff, -1, -1, 0, 0)
 
 	lastIdx := len(e.Net.Layers) - 1
 	out := e.nvm.acts[lastIdx]
@@ -328,6 +350,7 @@ func (e *Engine) runCPUStage(li int, inj FailureInjector, stats *ExecStats) (fai
 	e.nvm.acts[li] = out
 	e.nvm.actShifts[li] = shift
 	stats.AuxWriteBytes += int64(2 * len(out))
+	e.clk.Emit(obs.KindPreserve, li, -1, int64(2*len(in)), int64(2*len(out)))
 	return false, nil
 }
 
@@ -359,6 +382,7 @@ func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool
 		e.nvm.col = col
 		e.nvm.txDone = true
 		stats.AuxWriteBytes += int64(2 * len(col))
+		e.clk.Emit(obs.KindPreserve, li, -1, 0, int64(2*len(col)))
 		// If the failure hit the transform itself, redoing it was the
 		// recovery; the first op then runs for the first time.
 		resuming = false
@@ -419,23 +443,25 @@ func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool
 					reExec = true
 					resuming = false
 					inputCharged = false // lost with VM; re-fetch
+					e.clk.Emit(obs.KindReExec, li, ord, 0, 0)
 				}
 				r0 := br * spec.TM
 				rm := min(spec.TM, spec.M-r0)
 				block := w.Blocks[s*bk : (s+1)*bk]
 				src := e.nvm.partial[(seen+1)%2]
 				dst := e.nvm.partial[seen%2]
-				stats.OpReadBytes += int64(2 * rm * kk) // weight block
+				opRead := int64(2 * rm * kk) // weight block
 				if !inputCharged {
-					stats.OpReadBytes += int64(2 * kk * tn) // input tile
+					opRead += int64(2 * kk * tn) // input tile
 					inputCharged = true
 				}
 				if reExec {
 					// Recovery re-reads the preserved partials; in steady
 					// state they live in the VM-resident panel (the NVM
 					// parity buffers below model the preserved copy).
-					stats.OpReadBytes += int64(2 * rm * tn)
+					opRead += int64(2 * rm * tn)
 				}
+				stats.OpReadBytes += opRead
 				// The op: widen, MAC, narrow to the output scale, and
 				// accumulate onto the previous parity's partials.
 				for r := 0; r < rm; r++ {
@@ -455,7 +481,8 @@ func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool
 						dst[gr*spec.N+gc] = fixed.Add(prev, contrib)
 					}
 				}
-				stats.OpWriteBytes += int64(2*rm*tn) + int64(e.Cfg.IndicatorBytes)
+				opWrite := int64(2*rm*tn) + int64(e.Cfg.IndicatorBytes)
+				stats.OpWriteBytes += opWrite
 				if inj.Fail() {
 					// Failure after the data write but before the counter
 					// commit: the op will re-execute on resume, reading the
@@ -465,6 +492,10 @@ func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool
 				e.nvm.opCounter = ord + 1
 				stats.Ops++
 				stats.Jobs += int64(rm * tn)
+				if e.clk.Enabled() {
+					e.clk.Emit(obs.KindOpCommit, li, ord, opRead, 0)
+					e.clk.Emit(obs.KindPreserve, li, ord, 0, opWrite)
+				}
 				ord++
 			}
 		}
@@ -500,6 +531,7 @@ func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool
 	e.nvm.acts[li] = out
 	e.nvm.actShifts[li] = outShift
 	stats.AuxWriteBytes += int64(2 * spec.M * spec.N)
+	e.clk.Emit(obs.KindPreserve, li, -1, int64(2*spec.M*spec.N), int64(2*spec.M*spec.N))
 	return false, nil
 }
 

@@ -1,0 +1,184 @@
+package hawaii
+
+import (
+	"math"
+	"testing"
+
+	"iprune/internal/obs"
+	"iprune/internal/power"
+	"iprune/internal/tile"
+)
+
+// ---------------------------------------------------------------------------
+// Trace invariants: functional engine under injected failures
+
+// checkPowerPairing scans an event stream and verifies power-on/off
+// discipline: events alternate (no double-on, no off-without-on) and the
+// stream ends powered off with balanced pair counts.
+func checkPowerPairing(t *testing.T, events []obs.Event) (ons, offs int) {
+	t.Helper()
+	powered := false
+	for i := range events {
+		switch events[i].Kind {
+		case obs.KindPowerOn:
+			if powered {
+				t.Fatalf("event %d: power-on while already powered", i)
+			}
+			powered = true
+			ons++
+		case obs.KindPowerOff:
+			if !powered {
+				t.Fatalf("event %d: power-off while not powered", i)
+			}
+			powered = false
+			offs++
+		}
+	}
+	if powered {
+		t.Error("trace ends still powered on")
+	}
+	if ons != offs {
+		t.Errorf("unbalanced power events: %d on, %d off", ons, offs)
+	}
+	return ons, offs
+}
+
+func TestEngineTraceInvariantsUnderEveryN(t *testing.T) {
+	e, samples := newTestEngine(t, 30, 3)
+	rec := obs.NewRecorder()
+	e.Trace = rec
+	res, err := e.Infer(samples[0].X, &EveryN{N: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := rec.Events()
+	if len(evs) == 0 {
+		t.Fatal("engine emitted no events")
+	}
+
+	// Simulated step timestamps must be strictly monotonic.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time <= evs[i-1].Time {
+			t.Fatalf("event %d: time %g not after %g", i, evs[i].Time, evs[i-1].Time)
+		}
+	}
+
+	ons, _ := checkPowerPairing(t, evs)
+	// One power-on per boot: the initial one plus one per failure.
+	if want := int(res.Stats.Failures) + 1; ons != want {
+		t.Errorf("power-ons = %d, want %d (1 + %d failures)", ons, want, res.Stats.Failures)
+	}
+
+	var failures, reexecs, commits int64
+	for i := range evs {
+		switch evs[i].Kind {
+		case obs.KindFailure:
+			failures++
+		case obs.KindReExec:
+			reexecs++
+		case obs.KindOpCommit:
+			commits++
+		}
+	}
+	if failures != res.Stats.Failures {
+		t.Errorf("trace failures = %d, stats say %d", failures, res.Stats.Failures)
+	}
+	if reexecs != res.Stats.ReExecOps {
+		t.Errorf("trace re-execs = %d, stats say %d", reexecs, res.Stats.ReExecOps)
+	}
+	if commits != res.Stats.Ops {
+		t.Errorf("trace op commits = %d, stats say %d", commits, res.Stats.Ops)
+	}
+
+	// The same run without tracing must behave identically (tracing is
+	// observation, not simulation state).
+	e2, samples2 := newTestEngine(t, 30, 3)
+	res2, err := e2.Infer(samples2[0].X, &EveryN{N: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats != res2.Stats {
+		t.Errorf("tracing changed execution: %+v vs %+v", res.Stats, res2.Stats)
+	}
+}
+
+func TestEngineTraceCleanRunHasNoFailureEvents(t *testing.T) {
+	e, samples := newTestEngine(t, 31, 0)
+	rec := obs.NewRecorder()
+	e.Trace = rec
+	if _, err := e.Infer(samples[0].X, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range rec.Events() {
+		switch ev.Kind {
+		case obs.KindFailure, obs.KindReExec, obs.KindRecovery:
+			t.Errorf("event %d: %s in a failure-free run", i, ev.Kind)
+		}
+	}
+	if ons, _ := checkPowerPairing(t, rec.Events()); ons != 1 {
+		t.Errorf("clean run has %d power cycles, want 1", ons)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Trace invariants: cost simulator
+
+func TestCostSimTraceSumsMatchAggregate(t *testing.T) {
+	for _, sup := range []power.Supply{power.ContinuousPower, power.StrongPower, power.WeakPower} {
+		t.Run(sup.Name, func(t *testing.T) {
+			net, specs, cfg := buildNet(32)
+			pruneSome(net, 3)
+			cs := NewCostSim(cfg)
+			rec := obs.NewRecorder()
+			cs.Trace = rec
+			res := cs.RunNetwork(net, specs, tile.Intermittent, sup, 1)
+			evs := rec.Events()
+
+			// Merged power-sim + cost-sim stream must be time-ordered.
+			for i := 1; i < len(evs); i++ {
+				if evs[i].Time < evs[i-1].Time-1e-9 {
+					t.Fatalf("event %d (%s): time %g before %g", i, evs[i].Kind, evs[i].Time, evs[i-1].Time)
+				}
+			}
+			checkPowerPairing(t, evs)
+
+			s := obs.Collect(evs)
+			if len(s.Layers) != len(specs) {
+				t.Fatalf("collected %d layers, want %d", len(s.Layers), len(specs))
+			}
+			// Per-layer latency and energy sums reproduce the aggregate
+			// result exactly (the LayerEnd events carry deltas of the same
+			// accumulators the simulator reports).
+			relTol := func(got, want float64) bool {
+				return math.Abs(got-want) <= 1e-9*math.Max(1, math.Abs(want))
+			}
+			if !relTol(s.Total.Latency, res.Latency) {
+				t.Errorf("layer latency sum %g != aggregate %g", s.Total.Latency, res.Latency)
+			}
+			if !relTol(s.Total.Energy, res.Energy) {
+				t.Errorf("layer energy sum %g != aggregate %g", s.Total.Energy, res.Energy)
+			}
+			if int(s.Total.Failures) != res.Failures {
+				t.Errorf("trace failures %d != aggregate %d", s.Total.Failures, res.Failures)
+			}
+			if sup.Continuous && len(s.Cycles) != 1 {
+				t.Errorf("continuous run has %d power cycles, want 1", len(s.Cycles))
+			}
+			if !sup.Continuous && len(s.Cycles) != res.Failures+1 {
+				t.Errorf("got %d power cycles, want %d failures + 1", len(s.Cycles), res.Failures)
+			}
+		})
+	}
+}
+
+func TestCostSimTracingDoesNotPerturbResult(t *testing.T) {
+	net, specs, cfg := buildNet(33)
+	cs := NewCostSim(cfg)
+	plain := cs.RunNetwork(net, specs, tile.Intermittent, power.StrongPower, 2)
+	traced := NewCostSim(cfg)
+	traced.Trace = obs.NewRecorder()
+	got := traced.RunNetwork(net, specs, tile.Intermittent, power.StrongPower, 2)
+	if plain != got {
+		t.Errorf("tracing changed the simulation result:\nplain  %+v\ntraced %+v", plain, got)
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import "sort"
+
+// LayerStat aggregates the events of one layer (or, for Total, the whole
+// run). Latency and Energy come from KindLayerEnd events and therefore
+// include charging dead-time and recovery incurred inside the layer —
+// summing them over all layers reproduces the run's aggregate latency
+// and energy exactly.
+type LayerStat struct {
+	Layer     int   // layer index (-1 for Total)
+	Ops       int64 // committed accelerator ops
+	Starts    int64 // op attempts issued (Starts-Ops were lost to failures)
+	ReExec    int64 // re-executed ops after failures
+	Failures  int64 // power failures attributed to the layer
+	Preserves int64 // preservation writes
+	Latency   float64
+	Energy    float64
+	Read      int64 // NVM bytes read
+	Write     int64 // NVM bytes written
+}
+
+// CycleStat is one power cycle: the device-on span ending in a
+// power-off, plus the charging dead-time that followed it (0 for the
+// final cycle of a run).
+type CycleStat struct {
+	Start   float64 // power-on time
+	OnTime  float64 // powered span
+	OffTime float64 // subsequent charging dead-time
+}
+
+// Utilization returns the fraction of the cycle's wall-clock the device
+// was powered.
+func (c *CycleStat) Utilization() float64 {
+	total := c.OnTime + c.OffTime
+	if total <= 0 {
+		return 0
+	}
+	return c.OnTime / total
+}
+
+// RunStats is the per-layer / per-power-cycle aggregation of one
+// recorded run.
+type RunStats struct {
+	Layers []LayerStat // sorted by layer index
+	Cycles []CycleStat // in time order
+	Total  LayerStat   // aggregate over all layers
+	Events int         // events collected
+}
+
+// Collect aggregates a recorded event stream into per-layer and
+// per-power-cycle statistics. Events without a layer of their own
+// (power events emitted by the supply simulator) are attributed to the
+// layer that was executing when they occurred.
+func Collect(events []Event) *RunStats {
+	s := &RunStats{Events: len(events)}
+	idx := map[int]int{}
+	cur := -1
+	layer := func(li int) *LayerStat {
+		if li < 0 {
+			li = cur
+		}
+		if li < 0 {
+			// Events before the first layer boundary: attribute to a
+			// catch-all pseudo-layer only if one is ever needed.
+			li = -1
+		}
+		if i, ok := idx[li]; ok {
+			return &s.Layers[i]
+		}
+		idx[li] = len(s.Layers)
+		s.Layers = append(s.Layers, LayerStat{Layer: li})
+		return &s.Layers[len(s.Layers)-1]
+	}
+	var cycleStart float64
+	inCycle := false
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case KindLayerStart:
+			cur = ev.Layer
+		case KindLayerEnd:
+			l := layer(ev.Layer)
+			l.Latency += ev.Dur
+			l.Energy += ev.Energy
+		case KindOpStart:
+			layer(ev.Layer).Starts++
+		case KindOpCommit:
+			l := layer(ev.Layer)
+			l.Ops++
+			l.Read += ev.Read
+			l.Write += ev.Write
+		case KindPreserve:
+			l := layer(ev.Layer)
+			l.Preserves++
+			l.Read += ev.Read
+			l.Write += ev.Write
+		case KindFailure:
+			layer(ev.Layer).Failures++
+		case KindRecovery:
+			layer(ev.Layer).Read += ev.Read
+		case KindReExec:
+			layer(ev.Layer).ReExec++
+		case KindPowerOn:
+			cycleStart = ev.Time
+			inCycle = true
+		case KindPowerOff:
+			if inCycle {
+				s.Cycles = append(s.Cycles, CycleStat{
+					Start:  cycleStart,
+					OnTime: ev.Time - cycleStart,
+				})
+				inCycle = false
+			}
+		case KindCharge:
+			if n := len(s.Cycles); n > 0 {
+				s.Cycles[n-1].OffTime += ev.Dur
+			}
+		}
+	}
+	sort.Slice(s.Layers, func(i, j int) bool { return s.Layers[i].Layer < s.Layers[j].Layer })
+	s.Total.Layer = -1
+	for i := range s.Layers {
+		l := &s.Layers[i]
+		s.Total.Ops += l.Ops
+		s.Total.Starts += l.Starts
+		s.Total.ReExec += l.ReExec
+		s.Total.Failures += l.Failures
+		s.Total.Preserves += l.Preserves
+		s.Total.Latency += l.Latency
+		s.Total.Energy += l.Energy
+		s.Total.Read += l.Read
+		s.Total.Write += l.Write
+	}
+	return s
+}
+
+// Fill registers the run's statistics in a metrics registry: run-level
+// counters plus the per-layer latency/energy, power-cycle-utilization
+// and re-execution histograms the paper's analysis calls for.
+func (s *RunStats) Fill(m *Metrics) {
+	m.Counter("run/ops").AddInt(s.Total.Ops)
+	m.Counter("run/op_attempts").AddInt(s.Total.Starts)
+	m.Counter("run/reexec_ops").AddInt(s.Total.ReExec)
+	m.Counter("run/failures").AddInt(s.Total.Failures)
+	m.Counter("run/preserve_writes").AddInt(s.Total.Preserves)
+	m.Counter("run/power_cycles").AddInt(int64(len(s.Cycles)))
+	m.Counter("run/latency_s").Add(s.Total.Latency)
+	m.Counter("run/energy_j").Add(s.Total.Energy)
+	m.Counter("run/nvm_read_bytes").AddInt(s.Total.Read)
+	m.Counter("run/nvm_write_bytes").AddInt(s.Total.Write)
+	if s.Total.Ops > 0 {
+		m.Counter("run/reexec_ratio").Add(float64(s.Total.ReExec) / float64(s.Total.Ops))
+	}
+	lh := m.Histogram("layer_latency_s", LatencyBuckets)
+	eh := m.Histogram("layer_energy_j", EnergyBuckets)
+	for i := range s.Layers {
+		lh.Observe(s.Layers[i].Latency)
+		eh.Observe(s.Layers[i].Energy)
+	}
+	uh := m.Histogram("cycle_utilization", UtilizationBuckets)
+	for i := range s.Cycles {
+		uh.Observe(s.Cycles[i].Utilization())
+	}
+}

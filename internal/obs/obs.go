@@ -1,0 +1,181 @@
+// Package obs is the observability layer of the intermittent inference
+// stack: typed trace events emitted by the cost simulator, the power
+// simulator and the functional HAWAII⁺ engine, a registry of counters
+// and fixed-bucket histograms derived from them, and sinks that render a
+// recorded run as Chrome trace-event JSON (loadable in Perfetto), CSV,
+// or a terminal summary table.
+//
+// The design goal is zero cost when disabled: hot paths hold a Tracer
+// interface and guard every emission with Enabled(), so with the Nop
+// tracer (or a nil tracer behind a StepClock) no event is constructed
+// and no allocation happens — events are plain value structs passed by
+// value, never boxed. The package deliberately depends on nothing but
+// the standard library and on no other package of this module, so every
+// layer of the stack can import it.
+package obs
+
+// Kind enumerates the typed trace events of the intermittent inference
+// stack.
+type Kind uint8
+
+// The event types. Power events mirror the capacitor-buffered supply of
+// the paper's Table I; op events mirror the HAWAII⁺ accelerator-op
+// schedule and its job-counter progress preservation.
+const (
+	// KindPowerOn marks the device switching on: run start or the end of
+	// a recharge period (instant).
+	KindPowerOn Kind = iota
+	// KindPowerOff marks the device switching off: buffer depleted or
+	// run end (instant).
+	KindPowerOff
+	// KindCharge is the charging dead-time span between a power-off and
+	// the next power-on; Dur is the off-time.
+	KindCharge
+	// KindOpStart marks one accelerator-op attempt being issued
+	// (instant). An attempt that is not followed by a matching
+	// KindOpCommit was lost to a power failure.
+	KindOpStart
+	// KindOpCommit is the span of a successfully committed accelerator
+	// op: Dur covers its reads, compute and overlapped preservation
+	// write; Energy is the op's draw; Read its NVM read bytes.
+	KindOpCommit
+	// KindPreserve is a progress-preservation NVM write (op outputs plus
+	// the job-counter progress indicator); Write carries the bytes.
+	KindPreserve
+	// KindFailure marks a power failure, simulated or injected
+	// (instant).
+	KindFailure
+	// KindRecovery is the progress-recovery span after a failure:
+	// reboot, progress-indicator read and tile re-fetch. Read carries
+	// the re-fetched bytes.
+	KindRecovery
+	// KindReExec marks re-execution of the single op interrupted by a
+	// failure (instant).
+	KindReExec
+	// KindLayerStart marks entry into a layer (instant).
+	KindLayerStart
+	// KindLayerEnd marks a layer completing. Dur and Energy carry the
+	// layer's inclusive wall-clock span and energy draw, including any
+	// charging dead-time and recovery spent inside the layer, so that
+	// per-layer sums reproduce the aggregate totals exactly.
+	KindLayerEnd
+)
+
+var kindNames = [...]string{
+	"power-on", "power-off", "charge", "op-start", "op-commit",
+	"preserve", "failure", "recovery", "re-exec", "layer-start",
+	"layer-end",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one trace event. Time is simulated, not wall-clock: the cost
+// simulator stamps seconds, the functional engine stamps preservation
+// steps (see StepClock). Layer and Op are -1 when the event is not
+// scoped to a layer or op.
+type Event struct {
+	Kind   Kind
+	Time   float64 // simulated time at which the event begins
+	Dur    float64 // span duration; 0 for instants
+	Layer  int     // layer index; -1 when not layer-scoped
+	Op     int64   // op ordinal within the run; -1 when not op-scoped
+	Energy float64 // joules attributed to the event
+	Read   int64   // NVM bytes read
+	Write  int64   // NVM bytes written
+}
+
+// Tracer receives events from the instrumented simulators. Hot paths
+// must guard emission with Enabled so a disabled tracer costs one
+// predictable branch and constructs nothing; Emit takes the event by
+// value, so emitting never heap-allocates on the caller's side.
+type Tracer interface {
+	// Enabled reports whether emitted events are recorded.
+	Enabled() bool
+	// Emit records one event.
+	Emit(Event)
+}
+
+// Nop is the disabled tracer: Enabled is false and Emit discards. It is
+// the default everywhere a tracer is optional.
+type Nop struct{}
+
+// Enabled implements Tracer.
+//
+//iprune:hotpath
+func (Nop) Enabled() bool { return false }
+
+// Emit implements Tracer.
+//
+//iprune:hotpath
+func (Nop) Emit(Event) {}
+
+// Recorder is the in-memory tracer: it appends every event to a slice
+// for later collection and export.
+type Recorder struct {
+	events []Event
+}
+
+// NewRecorder returns a Recorder with room for a typical run.
+func NewRecorder() *Recorder {
+	return &Recorder{events: make([]Event, 0, 1024)}
+}
+
+// Enabled implements Tracer.
+//
+//iprune:hotpath
+func (r *Recorder) Enabled() bool { return true }
+
+// Emit implements Tracer. The append amortizes over the preallocated
+// buffer; recording is not a hot-path-neutral operation and is only
+// reached when tracing was explicitly requested.
+//
+//iprune:hotpath
+func (r *Recorder) Emit(ev Event) {
+	r.events = append(r.events, ev) //iprune:allow-alloc amortized growth of the opt-in recording buffer
+}
+
+// Events returns the recorded events in emission order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Reset discards the recorded events, keeping the buffer.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
+
+// StepClock drives a Tracer from functional execution, where simulated
+// time is the count of preservation steps rather than seconds: every
+// emission advances the clock by one step, so recorded timestamps are
+// strictly monotonic. The float conversion of the step counter lives
+// here so the Q15-pure engine packages never touch float arithmetic.
+// The zero StepClock (nil tracer) is disabled and emits nothing.
+type StepClock struct {
+	T    Tracer
+	step int64
+}
+
+// Enabled reports whether emissions reach a recording tracer.
+//
+//iprune:hotpath
+func (c *StepClock) Enabled() bool { return c.T != nil && c.T.Enabled() }
+
+// Emit records one event at the current step and advances the clock.
+//
+//iprune:hotpath
+func (c *StepClock) Emit(kind Kind, layer int, op int64, read, write int64) {
+	if !c.Enabled() {
+		return
+	}
+	c.T.Emit(Event{
+		Kind:  kind,
+		Time:  float64(c.step),
+		Layer: layer,
+		Op:    op,
+		Read:  read,
+		Write: write,
+	})
+	c.step++
+}

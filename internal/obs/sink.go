@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+)
+
+// layerName resolves a layer index against the caller-provided name
+// table (spec names for the cost simulator, net-layer names for the
+// functional engine), falling back to a synthetic name.
+func layerName(names []string, li int) string {
+	if li >= 0 && li < len(names) {
+		return names[li]
+	}
+	return "layer" + strconv.Itoa(li)
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event JSON
+
+// chromeEvent is one entry of the Chrome trace-event format, the subset
+// Perfetto and chrome://tracing load: "X" complete spans, "i" instants
+// and "M" thread-name metadata.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON object container variant of the format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Tracks (tids) of the rendered trace.
+const (
+	tidAccel  = 1 // accelerator ops, preservation, recovery
+	tidLayers = 2 // layer spans
+	tidPower  = 3 // power cycles, failures, charging
+)
+
+// WriteChromeTrace renders a recorded event stream as Chrome trace-event
+// JSON. Open the file in https://ui.perfetto.dev (or chrome://tracing):
+// ops, layers and the power supply appear as three tracks. Timestamps
+// are microseconds of simulated time (the format's native unit), so a
+// cost-simulator second becomes 1e6 ticks and an engine preservation
+// step 1 tick.
+func WriteChromeTrace(w io.Writer, events []Event, names []string) error {
+	const us = 1e6
+	ces := make([]chromeEvent, 0, len(events)+3)
+	for _, meta := range []struct {
+		tid  int
+		name string
+	}{{tidAccel, "accelerator"}, {tidLayers, "layers"}, {tidPower, "power"}} {
+		ces = append(ces, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: meta.tid,
+			Args: map[string]any{"name": meta.name},
+		})
+	}
+	for i := range events {
+		ev := &events[i]
+		ce := chromeEvent{Name: ev.Kind.String(), Cat: ev.Kind.String(), Ph: "i", Ts: ev.Time * us, Pid: 1, S: "t"}
+		switch ev.Kind {
+		case KindPowerOn, KindPowerOff, KindFailure:
+			ce.Tid = tidPower
+			if ev.Kind == KindFailure {
+				ce.S = "g"
+				if ev.Energy != 0 {
+					ce.Args = map[string]any{"lost_energy_j": ev.Energy}
+				}
+			}
+		case KindCharge:
+			ce.Tid = tidPower
+			ce.Ph = "X"
+			ce.Dur = ev.Dur * us
+			ce.S = ""
+		case KindOpStart, KindReExec:
+			ce.Tid = tidAccel
+			ce.Args = map[string]any{"op": ev.Op}
+		case KindOpCommit:
+			ce.Tid = tidAccel
+			ce.Ph = "X"
+			ce.Dur = ev.Dur * us
+			ce.S = ""
+			ce.Name = "op"
+			ce.Args = map[string]any{"op": ev.Op, "layer": layerName(names, ev.Layer)}
+			if ev.Energy != 0 {
+				ce.Args["energy_j"] = ev.Energy
+			}
+			if ev.Read != 0 {
+				ce.Args["read_bytes"] = ev.Read
+			}
+		case KindPreserve:
+			ce.Tid = tidAccel
+			ce.Args = map[string]any{"op": ev.Op, "write_bytes": ev.Write}
+		case KindRecovery:
+			ce.Tid = tidAccel
+			ce.Ph = "X"
+			ce.Dur = ev.Dur * us
+			ce.S = ""
+			ce.Args = map[string]any{"op": ev.Op, "refetch_bytes": ev.Read}
+			if ev.Energy != 0 {
+				ce.Args["energy_j"] = ev.Energy
+			}
+		case KindLayerStart:
+			continue // the LayerEnd event renders the whole span
+		case KindLayerEnd:
+			ce.Tid = tidLayers
+			ce.Ph = "X"
+			ce.Ts = (ev.Time - ev.Dur) * us
+			ce.Dur = ev.Dur * us
+			ce.S = ""
+			ce.Name = layerName(names, ev.Layer)
+			if ev.Energy != 0 {
+				ce.Args = map[string]any{"energy_j": ev.Energy}
+			}
+		default:
+			ce.Tid = tidAccel
+		}
+		ces = append(ces, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: ces, DisplayTimeUnit: "ms"})
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+
+// csvHeader is the per-layer metrics schema written by WriteCSV.
+var csvHeader = []string{
+	"layer", "name", "ops", "op_attempts", "reexec_ops", "failures",
+	"preserve_writes", "latency_s", "energy_j", "nvm_read_bytes",
+	"nvm_write_bytes",
+}
+
+func csvRow(label, name string, l *LayerStat) []string {
+	return []string{
+		label,
+		name,
+		strconv.FormatInt(l.Ops, 10),
+		strconv.FormatInt(l.Starts, 10),
+		strconv.FormatInt(l.ReExec, 10),
+		strconv.FormatInt(l.Failures, 10),
+		strconv.FormatInt(l.Preserves, 10),
+		strconv.FormatFloat(l.Latency, 'g', -1, 64),
+		strconv.FormatFloat(l.Energy, 'g', -1, 64),
+		strconv.FormatInt(l.Read, 10),
+		strconv.FormatInt(l.Write, 10),
+	}
+}
+
+// WriteCSV renders the per-layer run statistics as CSV, one row per
+// layer plus a final "total" row. Floats are written with full precision
+// so the per-layer latency_s and energy_j columns sum exactly to the
+// totals the simulator reported.
+func WriteCSV(w io.Writer, s *RunStats, names []string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for i := range s.Layers {
+		l := &s.Layers[i]
+		row := csvRow(strconv.Itoa(l.Layer), layerName(names, l.Layer), l)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write(csvRow("total", "", &s.Total)); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ---------------------------------------------------------------------------
+// Terminal summary
+
+// WriteSummary renders a human-readable run summary: the per-layer
+// table, power-cycle utilization, and (when a registry is given) every
+// counter and histogram. This is what the CLIs print under -v. The
+// summary is built in memory and written once, so the only fallible
+// write is the final one.
+func WriteSummary(w io.Writer, s *RunStats, m *Metrics, names []string) error {
+	var buf bytes.Buffer
+	tw := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	fprintln(tw, "layer\tname\tops\treexec\tfail\tlatency\tenergy\tNVM-R\tNVM-W")
+	put := func(label, name string, l *LayerStat) {
+		fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.4gs\t%.4gmJ\t%s\t%s\n",
+			label, name, l.Ops, l.ReExec, l.Failures,
+			l.Latency, l.Energy*1e3, fmtBytes(l.Read), fmtBytes(l.Write))
+	}
+	for i := range s.Layers {
+		l := &s.Layers[i]
+		put(strconv.Itoa(l.Layer), layerName(names, l.Layer), l)
+	}
+	put("total", "", &s.Total)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if len(s.Cycles) > 0 {
+		var util float64
+		for i := range s.Cycles {
+			util += s.Cycles[i].Utilization()
+		}
+		fmt.Fprintf(&buf, "power cycles: %d, mean utilization %.1f%%\n",
+			len(s.Cycles), 100*util/float64(len(s.Cycles)))
+	}
+	if m != nil {
+		fmt.Fprintln(&buf, "counters:")
+		for _, c := range m.Counters() {
+			fmt.Fprintf(&buf, "  %-24s %.6g\n", c.Name, c.Value())
+		}
+		for _, h := range m.Histograms() {
+			fmt.Fprintf(&buf, "histogram %s: n=%d mean=%.4g\n", h.Name, h.N, h.Mean())
+			for i, cnt := range h.Counts {
+				if cnt == 0 {
+					continue
+				}
+				if i < len(h.Bounds) {
+					fmt.Fprintf(&buf, "  <= %-10.4g %d\n", h.Bounds[i], cnt)
+				} else {
+					fmt.Fprintf(&buf, "  >  %-10.4g %d\n", h.Bounds[len(h.Bounds)-1], cnt)
+				}
+			}
+		}
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// fprintf and fprintln write to the in-memory tabwriter, whose only
+// error source is its (in-memory) underlying buffer — unreachable here.
+func fprintf(tw *tabwriter.Writer, format string, a ...any) {
+	_, _ = fmt.Fprintf(tw, format, a...)
+}
+
+func fprintln(tw *tabwriter.Writer, a ...any) {
+	_, _ = fmt.Fprintln(tw, a...)
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return strconv.FormatFloat(float64(b)/(1<<20), 'f', 1, 64) + "MiB"
+	case b >= 1<<10:
+		return strconv.FormatFloat(float64(b)/(1<<10), 'f', 1, 64) + "KiB"
+	default:
+		return strconv.FormatInt(b, 10) + "B"
+	}
+}

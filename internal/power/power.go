@@ -15,6 +15,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
+	"strings"
+
+	"iprune/internal/obs"
 )
 
 // Buffer is the capacitor energy buffer behind the boost converter.
@@ -57,6 +61,29 @@ var (
 	WeakPower = Supply{Name: "weak", Power: 4e-3, Jitter: 0.15}
 )
 
+// ParseSupply parses a supply name as the CLIs accept it: one of the
+// paper's named operating points (continuous | strong | weak,
+// case-insensitive) or a custom harvest power like "6mW", which gets
+// the paper-default 15% per-cycle jitter.
+func ParseSupply(name string) (Supply, error) {
+	switch strings.ToLower(name) {
+	case "continuous":
+		return ContinuousPower, nil
+	case "strong":
+		return StrongPower, nil
+	case "weak":
+		return WeakPower, nil
+	}
+	if s, ok := strings.CutSuffix(strings.ToLower(name), "mw"); ok {
+		mw, err := strconv.ParseFloat(s, 64)
+		if err != nil || mw <= 0 || math.IsInf(mw, 0) || math.IsNaN(mw) {
+			return Supply{}, fmt.Errorf("power: bad supply %q", name)
+		}
+		return Supply{Name: name, Power: mw * 1e-3, Jitter: 0.15}, nil
+	}
+	return Supply{}, fmt.Errorf("power: unknown supply %q (continuous|strong|weak|<N>mW)", name)
+}
+
 // Sim tracks the buffer charge across one execution. It is advanced by
 // Consume calls (energy drawn over elapsed time) and reports when the
 // buffer depletes.
@@ -64,10 +91,17 @@ type Sim struct {
 	Buffer Buffer
 	Supply Supply
 
+	// Trace receives the power-cycle events (power-on/off, failure,
+	// charge interval) timed on the simulator's own clock
+	// (OnTime+OffTime). The cost simulator attaches its tracer here when
+	// the field is nil; nil disables emission entirely.
+	Trace obs.Tracer
+
 	rng       *rand.Rand
 	remaining float64 // energy left in this power cycle
 	cyclePow  float64 // harvest power for the current cycle (jittered)
 	trace     *Trace  // optional time-varying profile
+	started   bool    // initial power-on event emitted
 
 	// Stats: the energy-accounting counters behind every latency and
 	// energy number the paper reports. They are NVM-disciplined — only
@@ -114,6 +148,11 @@ func (s *Sim) Consume(energy, dt float64) bool {
 	if energy < 0 || dt < 0 {
 		panic(fmt.Sprintf("power: negative consume (%g J, %g s)", energy, dt))
 	}
+	t0 := s.OnTime + s.OffTime
+	if !s.started && s.Trace != nil && s.Trace.Enabled() {
+		s.started = true
+		s.Trace.Emit(obs.Event{Kind: obs.KindPowerOn, Time: t0, Layer: -1, Op: -1})
+	}
 	s.OnTime += dt
 	s.EnergyUsed += energy
 	if s.Supply.Continuous {
@@ -132,6 +171,10 @@ func (s *Sim) Consume(energy, dt float64) bool {
 	s.remaining -= net
 	if s.remaining <= 0 {
 		s.Failures++
+		if s.Trace != nil && s.Trace.Enabled() {
+			s.Trace.Emit(obs.Event{Kind: obs.KindFailure, Time: t0 + dt, Layer: -1, Op: -1, Energy: energy})
+			s.Trace.Emit(obs.Event{Kind: obs.KindPowerOff, Time: t0 + dt, Layer: -1, Op: -1})
+		}
 		return true
 	}
 	return false
@@ -146,10 +189,15 @@ func (s *Sim) Recharge() float64 {
 	if s.Supply.Continuous {
 		return 0
 	}
+	t0 := s.OnTime + s.OffTime
 	off := s.Buffer.UsableEnergy() / s.cyclePow
 	s.OffTime += off
 	s.remaining = s.Buffer.UsableEnergy()
 	s.cyclePow = s.drawCyclePower()
+	if s.Trace != nil && s.Trace.Enabled() {
+		s.Trace.Emit(obs.Event{Kind: obs.KindCharge, Time: t0, Dur: off, Layer: -1, Op: -1})
+		s.Trace.Emit(obs.Event{Kind: obs.KindPowerOn, Time: t0 + off, Layer: -1, Op: -1})
+	}
 	return off
 }
 

@@ -31,6 +31,7 @@ import (
 	"math"
 
 	"iprune/internal/nn"
+	"iprune/internal/obs"
 )
 
 // Config describes the inference-engine configuration that determines the
@@ -333,6 +334,34 @@ func CountNetwork(net *nn.Network, specs []LayerSpec, mode Mode, cfg Config) Cou
 	for i := range specs {
 		total.Add(CountLayer(&specs[i], prunables[i].Mask(), mode, cfg))
 	}
+	return total
+}
+
+// Observe registers the counters in a metrics registry under
+// "tile/<name>/..." names, making the analytic cost model's view of a
+// layer (or network total) part of a run's observable metrics.
+func (c *Counts) Observe(m *obs.Metrics, name string) {
+	p := "tile/" + name + "/"
+	m.Counter(p + "ops").AddInt(c.Ops)
+	m.Counter(p + "jobs").AddInt(c.Jobs)
+	m.Counter(p + "macs").AddInt(c.MACs)
+	m.Counter(p + "nvm_read_bytes").AddInt(c.TotalNVMRead())
+	m.Counter(p + "nvm_write_bytes").AddInt(c.TotalNVMWrite())
+}
+
+// ObserveNetwork registers every prunable layer's analytic counters plus
+// the network total in the registry, and returns the total. This is the
+// static (schedule-derived) complement to the event-derived run metrics:
+// jobs here are the iPrune pruning criterion.
+func ObserveNetwork(m *obs.Metrics, net *nn.Network, specs []LayerSpec, mode Mode, cfg Config) Counts {
+	prunables := net.Prunables()
+	var total Counts
+	for i := range specs {
+		c := CountLayer(&specs[i], prunables[i].Mask(), mode, cfg)
+		c.Observe(m, specs[i].Name)
+		total.Add(c)
+	}
+	total.Observe(m, "total")
 	return total
 }
 

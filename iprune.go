@@ -36,6 +36,7 @@
 package iprune
 
 import (
+	"io"
 	"math/rand"
 
 	"iprune/internal/compress"
@@ -45,6 +46,7 @@ import (
 	"iprune/internal/hawaii"
 	"iprune/internal/models"
 	"iprune/internal/nn"
+	"iprune/internal/obs"
 	"iprune/internal/power"
 	"iprune/internal/quant"
 	"iprune/internal/tile"
@@ -76,6 +78,18 @@ type (
 	EngineConfig = tile.Config
 	// DeviceProfile is the hardware latency/energy model.
 	DeviceProfile = device.Profile
+	// Tracer receives typed observability events from the simulators
+	// (see internal/obs for the event model).
+	Tracer = obs.Tracer
+	// TraceEvent is one typed observability event.
+	TraceEvent = obs.Event
+	// TraceRecorder records emitted events in memory for export.
+	TraceRecorder = obs.Recorder
+	// RunStats is the per-layer / per-power-cycle aggregation of a
+	// recorded run.
+	RunStats = obs.RunStats
+	// Metrics is a registry of observability counters and histograms.
+	Metrics = obs.Metrics
 )
 
 // Pruning criteria.
@@ -167,11 +181,77 @@ func MSP430() DeviceProfile { return device.MSP430FR5994() }
 // breakdown statistics. The network's pruning masks (if any) shape the
 // accelerator-operation schedule.
 func Simulate(net *Network, sup Supply, seed int64) SimResult {
+	return SimulateObserved(net, sup, seed, nil)
+}
+
+// SimulateObserved is Simulate with a tracer attached: every op, layer
+// boundary, power cycle, failure and recovery of the run is emitted as a
+// typed event (record with NewTraceRecorder, then export via
+// CollectTrace / WriteChromeTrace / WriteTraceCSV). A nil tracer
+// behaves exactly like Simulate.
+func SimulateObserved(net *Network, sup Supply, seed int64, tr Tracer) SimResult {
 	cfg := tile.DefaultConfig()
 	specs := tile.SpecsFromNetwork(net, cfg)
 	ensureMasks(net, specs)
 	cs := hawaii.NewCostSim(cfg)
+	cs.Trace = tr
 	return cs.RunNetwork(net, specs, tile.Intermittent, sup, seed)
+}
+
+// NewTraceRecorder returns an in-memory event recorder to pass to
+// SimulateObserved or an Engine's Trace field.
+func NewTraceRecorder() *TraceRecorder { return obs.NewRecorder() }
+
+// CollectTrace aggregates recorded events into per-layer and
+// per-power-cycle statistics.
+func CollectTrace(events []TraceEvent) *RunStats { return obs.Collect(events) }
+
+// PrunableLayerNames returns the names of the network's prunable layers
+// in schedule order — the name table for trace and metrics sinks.
+func PrunableLayerNames(net *Network) []string {
+	specs := tile.SpecsFromNetwork(net, tile.DefaultConfig())
+	names := make([]string, len(specs))
+	for i := range specs {
+		names[i] = specs[i].Name
+	}
+	return names
+}
+
+// ParseSupply parses a supply name: continuous | strong | weak, or a
+// custom harvest power like "6mW".
+func ParseSupply(name string) (Supply, error) { return power.ParseSupply(name) }
+
+// NewMetrics returns an empty observability metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// WriteChromeTrace renders recorded events as Chrome trace-event JSON,
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+// names labels layer indices (see PrunableLayerNames).
+func WriteChromeTrace(w io.Writer, events []TraceEvent, names []string) error {
+	return obs.WriteChromeTrace(w, events, names)
+}
+
+// WriteTraceCSV renders per-layer run statistics as CSV (one row per
+// layer plus a "total" row whose latency/energy equal the simulator's
+// aggregate result).
+func WriteTraceCSV(w io.Writer, s *RunStats, names []string) error {
+	return obs.WriteCSV(w, s, names)
+}
+
+// WriteTraceSummary renders a terminal summary of a recorded run; m is
+// optional (nil skips the counter/histogram section).
+func WriteTraceSummary(w io.Writer, s *RunStats, m *Metrics, names []string) error {
+	return obs.WriteSummary(w, s, m, names)
+}
+
+// ObserveModel registers the analytic per-layer cost counters of the
+// network (ops, jobs — the pruning criterion —, MACs and NVM traffic)
+// in a metrics registry.
+func ObserveModel(m *Metrics, net *Network) {
+	cfg := tile.DefaultConfig()
+	specs := tile.SpecsFromNetwork(net, cfg)
+	ensureMasks(net, specs)
+	tile.ObserveNetwork(m, net, specs, tile.Intermittent, cfg)
 }
 
 // ModelStats summarizes a deployable model.

@@ -1,0 +1,61 @@
+#!/bin/sh
+# bench.sh runs the repo's Go benchmarks with memory stats and writes a
+# machine-readable snapshot to BENCH_<date>.json, so perf regressions
+# (latency or per-op allocations — the tracing layer's overhead budget)
+# are diffable across commits.
+#
+# Usage:
+#   scripts/bench.sh                 # short benchmarks, 100ms each
+#   BENCHTIME=1s scripts/bench.sh    # longer sampling
+#   BENCH=EngineInfer scripts/bench.sh  # filter by name
+#
+# The heavy paper-reproduction benchmarks (pruning runs) skip themselves
+# under -short; drop SHORT= only when you want the full set.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-100ms}"
+BENCH="${BENCH:-.}"
+SHORT="${SHORT:--short}"
+date="$(date +%Y-%m-%d)"
+out="BENCH_${date}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "running benchmarks (bench=$BENCH benchtime=$BENCHTIME $SHORT)..."
+# -run '^$' skips tests; benchmarks across all packages, one iteration
+# count line per benchmark.
+go test $SHORT -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" ./... | tee "$raw"
+
+# Convert `go test -bench` output to JSON. A result line looks like:
+#   BenchmarkEngineInferHAR-8   123  9876543 ns/op  1234 B/op  5 allocs/op
+# and the `pkg:` context comes from the preceding "pkg: ..." line.
+awk -v date="$date" '
+BEGIN { n = 0 }
+$1 == "pkg:" { pkg = $2 }
+$1 ~ /^Benchmark/ && NF >= 4 {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    line = sprintf("    {\"pkg\": \"%s\", \"name\": \"%s\", \"iterations\": %s", pkg, name, iters)
+    if (ns != "") line = line sprintf(", \"ns_per_op\": %s", ns)
+    if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    line = line "}"
+    results[n++] = line
+}
+END {
+    printf "{\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", date
+    for (i = 0; i < n; i++) printf "%s%s\n", results[i], (i < n - 1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+count=$(grep -c '"name"' "$out" || true)
+echo "wrote $out ($count benchmarks)"
