@@ -143,7 +143,7 @@ func main() {
 	stats := iprune.CollectTrace(rec.Events())
 
 	if *tracePath != "" {
-		err := export(*tracePath, func(w io.Writer) error {
+		err := iprune.WriteArtifact(*tracePath, func(w io.Writer) error {
 			return iprune.WriteChromeTrace(w, rec.Events(), names)
 		})
 		if err != nil {
@@ -153,7 +153,7 @@ func main() {
 			*tracePath, len(rec.Events()))
 	}
 	if *metricsPath != "" {
-		err := export(*metricsPath, func(w io.Writer) error {
+		err := iprune.WriteArtifact(*metricsPath, func(w io.Writer) error {
 			return iprune.WriteTraceCSV(w, stats, names)
 		})
 		if err != nil {
@@ -169,20 +169,6 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-}
-
-// export writes an artifact, surfacing any write or close error instead
-// of leaving a silently truncated file.
-func export(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		_ = f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func datasetFor(model string, seed int64) (*iprune.Dataset, error) {

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module named "iprune" (the analyzer
+// scopes key on that module path) and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module iprune\n\ngo 1.21\n"
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runLint(t *testing.T, dir string, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(append([]string{"-dir", dir}, args...), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestExitCodeClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/fixed/fixed.go": "package fixed\n\nfunc Add(a, b int16) int16 { return a + b }\n",
+	})
+	code, stdout, stderr := runLint(t, dir, "./...")
+	if code != 0 {
+		t.Fatalf("clean module: exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean module printed findings: %s", stdout)
+	}
+}
+
+func TestExitCodeFindings(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/fixed/fixed.go": "package fixed\n\nfunc Scale(x float64) float64 { return x * 1.5 }\n",
+	})
+	code, stdout, stderr := runLint(t, dir, "./...")
+	if code != 1 {
+		t.Fatalf("float in kernel package: exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "floatpurity") {
+		t.Errorf("findings output missing analyzer name:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("stderr missing findings count: %s", stderr)
+	}
+}
+
+func TestExitCodeOperationalError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/fixed/fixed.go": "package fixed\n\nfunc Broken( {\n",
+	})
+	code, _, stderr := runLint(t, dir, "./...")
+	if code != 2 {
+		t.Fatalf("syntax error: exit %d, want 2\nstderr: %s", code, stderr)
+	}
+	if stderr == "" {
+		t.Error("syntax error reported nothing on stderr")
+	}
+}
+
+func TestExitCodeBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/fixed/fixed.go": "package fixed\n\nfunc Scale(x float64) float64 { return x * 1.5 }\n",
+	})
+	code, stdout, _ := runLint(t, dir, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("-json output is not a findings array: %v\n%s", err, stdout)
+	}
+	if len(findings) == 0 {
+		t.Fatal("-json emitted an empty array for a dirty module")
+	}
+	f := findings[0]
+	if f.File != "internal/fixed/fixed.go" || f.Line == 0 || f.Analyzer != "floatpurity" || f.Message == "" {
+		t.Errorf("finding fields = %+v", f)
+	}
+
+	// A clean run still emits valid JSON: an empty array, not nothing.
+	clean := writeModule(t, map[string]string{
+		"internal/fixed/fixed.go": "package fixed\n\nfunc Add(a, b int16) int16 { return a + b }\n",
+	})
+	code, stdout, _ = runLint(t, clean, "-json", "./...")
+	if code != 0 || strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("clean -json run: exit %d, stdout %q", code, stdout)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list: exit %d", code)
+	}
+	for _, name := range []string{"floatpurity", "warhazard", "floatflow", "allocflow", "errcheck"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list missing %s:\n%s", name, stdout.String())
+		}
+	}
+}

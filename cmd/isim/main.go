@@ -40,6 +40,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "harvest jitter seed")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON of the first inference")
 	metricsPath := flag.String("metrics", "", "write per-layer metrics CSV of the first inference")
+	histPath := flag.String("hist", "", "write latency/energy/utilization histograms CSV of the first inference")
 	verbose := flag.Bool("v", false, "print per-layer and power-cycle summary")
 	flag.Parse()
 
@@ -70,7 +71,7 @@ func main() {
 	// Observability is attached to the first inference only: one run is
 	// what a trace viewer wants, and repeated inferences differ only by
 	// harvest jitter.
-	observing := *tracePath != "" || *metricsPath != "" || *verbose
+	observing := *tracePath != "" || *metricsPath != "" || *histPath != "" || *verbose
 	var rec *iprune.TraceRecorder
 	if observing {
 		rec = iprune.NewTraceRecorder()
@@ -112,7 +113,7 @@ func main() {
 	stats := iprune.CollectTrace(rec.Events())
 
 	if *tracePath != "" {
-		err := export(*tracePath, func(w io.Writer) error {
+		err := iprune.WriteArtifact(*tracePath, func(w io.Writer) error {
 			return iprune.WriteChromeTrace(w, rec.Events(), names)
 		})
 		if err != nil {
@@ -122,7 +123,7 @@ func main() {
 			*tracePath, len(rec.Events()))
 	}
 	if *metricsPath != "" {
-		err := export(*metricsPath, func(w io.Writer) error {
+		err := iprune.WriteArtifact(*metricsPath, func(w io.Writer) error {
 			return iprune.WriteTraceCSV(w, stats, names)
 		})
 		if err != nil {
@@ -130,26 +131,23 @@ func main() {
 		}
 		fmt.Printf("wrote metrics %s (%d layers)\n", *metricsPath, len(stats.Layers))
 	}
-	if *verbose {
+	if *histPath != "" || *verbose {
 		m := iprune.NewMetrics()
 		stats.Fill(m)
 		iprune.ObserveModel(m, net)
-		if err := iprune.WriteTraceSummary(os.Stdout, stats, m, names); err != nil {
-			log.Fatal(err)
+		if *histPath != "" {
+			err := iprune.WriteArtifact(*histPath, func(w io.Writer) error {
+				return iprune.WriteHistogramsCSV(w, m)
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote histograms %s\n", *histPath)
+		}
+		if *verbose {
+			if err := iprune.WriteTraceSummary(os.Stdout, stats, m, names); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
-}
-
-// export writes an artifact atomically enough for a CLI: any write or
-// close error is surfaced instead of leaving a silently truncated file.
-func export(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		_ = f.Close()
-		return err
-	}
-	return f.Close()
 }

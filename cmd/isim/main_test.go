@@ -49,9 +49,9 @@ func TestSupplyParsing(t *testing.T) {
 	}
 }
 
-func TestExportWritesAndPropagatesErrors(t *testing.T) {
+func TestWriteArtifactWritesAndPropagatesErrors(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.txt")
-	err := export(path, func(w io.Writer) error {
+	err := iprune.WriteArtifact(path, func(w io.Writer) error {
 		_, err := w.Write([]byte("ok"))
 		return err
 	})
@@ -64,12 +64,12 @@ func TestExportWritesAndPropagatesErrors(t *testing.T) {
 	}
 
 	sentinel := errors.New("render failed")
-	err = export(filepath.Join(t.TempDir(), "bad.txt"), func(io.Writer) error { return sentinel })
+	err = iprune.WriteArtifact(filepath.Join(t.TempDir(), "bad.txt"), func(io.Writer) error { return sentinel })
 	if !errors.Is(err, sentinel) {
-		t.Errorf("export swallowed the render error: %v", err)
+		t.Errorf("WriteArtifact swallowed the render error: %v", err)
 	}
 
-	if err := export(filepath.Join(t.TempDir(), "no", "such", "dir.txt"), func(io.Writer) error { return nil }); err == nil {
-		t.Error("export must surface create errors")
+	if err := iprune.WriteArtifact(filepath.Join(t.TempDir(), "no", "such", "dir.txt"), func(io.Writer) error { return nil }); err == nil {
+		t.Error("WriteArtifact must surface create errors")
 	}
 }

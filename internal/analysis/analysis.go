@@ -9,7 +9,11 @@
 //     through the hawaii progress-preservation discipline API;
 //   - hotalloc: functions marked //iprune:hotpath do not allocate inside
 //     loops;
-//   - errcheck: error returns are not silently discarded.
+//   - errcheck: error returns are not silently discarded;
+//   - warhazard: no write-after-read hazard on NVM state between
+//     preservation points (CFG + dataflow, see flow/ and warhazard.go);
+//   - floatflow / allocflow: the float-purity and hot-alloc invariants
+//     propagated interprocedurally over the module call graph.
 //
 // Analyzers report findings through Pass.Reportf, which consults the
 // directive index (see directives.go) so that //iprune:allow-* escape
@@ -36,7 +40,9 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check over a type-checked package, or — when
+// RunModule is set — over every loaded package at once (for
+// interprocedural passes that need the whole call graph).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics.
 	Name string
@@ -46,11 +52,17 @@ type Analyzer struct {
 	// findings (e.g. "allow-float"); empty means no escape hatch.
 	Allow string
 	// Scope reports whether the analyzer applies to a package import
-	// path. The driver consults it; running an analyzer directly (as the
-	// fixture harness does) bypasses it.
+	// path: per-package analyzers are not run outside it, module-level
+	// analyzers do not *report* outside it (their summaries still cover
+	// every package). The driver consults it; running an analyzer
+	// directly (as the fixture harness does) bypasses it.
 	Scope func(pkgPath string) bool
-	// Run performs the check, reporting findings via pass.Reportf.
+	// Run performs a per-package check, reporting via pass.Reportf.
+	// Exactly one of Run and RunModule is set.
 	Run func(pass *Pass)
+	// RunModule performs a whole-module check across every loaded
+	// package, reporting via mp.Pass(pkg).Reportf.
+	RunModule func(mp *ModulePass)
 }
 
 // Pass carries one analyzer run over one package.
@@ -118,21 +130,83 @@ func (p *Pass) FuncHas(decl *ast.FuncDecl, name string) bool {
 	return obj != nil && p.Dirs.ObjHas(obj, name)
 }
 
+// ModulePass carries one module-level analyzer run over every loaded
+// package. Analyses that need the whole call graph iterate mp.Pkgs for
+// summaries and report through the per-package Pass.
+type ModulePass struct {
+	Pkgs []*Package
+	Dirs *Directives
+
+	diags  *[]Diagnostic
+	allow  string
+	name   string
+	scope  func(string) bool
+	passes map[*Package]*Pass
+}
+
+// Pass returns the reporting pass for one of the module's packages.
+// When the analyzer's Scope excludes the package, reports through the
+// returned pass are dropped (summaries over out-of-scope packages still
+// feed in-scope findings).
+func (mp *ModulePass) Pass(pkg *Package) *Pass {
+	if p, ok := mp.passes[pkg]; ok {
+		return p
+	}
+	diags := mp.diags
+	if mp.scope != nil && !mp.scope(pkg.Path) {
+		diags = &[]Diagnostic{} // discard
+	}
+	p := &Pass{
+		Fset:  pkg.Fset,
+		Pkg:   pkg,
+		Info:  pkg.Info,
+		Dirs:  mp.Dirs,
+		diags: diags,
+		allow: mp.allow,
+		name:  mp.name,
+	}
+	mp.passes[pkg] = p
+	return p
+}
+
 // Run executes the analyzers over the packages and returns all findings
-// sorted by position. Packages that failed to type-check are skipped (the
-// loader already surfaced their errors as diagnostics).
+// sorted by position. Per-package analyzers run on each package inside
+// their Scope; module-level analyzers run once over all packages.
+// Packages that failed to type-check are skipped (the loader already
+// surfaced their errors as diagnostics).
 func Run(analyzers []*Analyzer, pkgs []*Package, dirs *Directives) []Diagnostic {
 	var diags []Diagnostic
+	clean := make([]*Package, 0, len(pkgs))
 	for _, pkg := range pkgs {
-		if len(pkg.Errs) > 0 {
-			continue
+		if len(pkg.Errs) == 0 {
+			clean = append(clean, pkg)
 		}
+	}
+	for _, pkg := range clean {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			if a.Scope != nil && !a.Scope(pkg.Path) {
 				continue
 			}
-			diags = append(diags, RunOne(a, pkg, dirs)...)
+			diags = append(diags, runPkg(a, pkg, dirs)...)
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{
+			Pkgs:   clean,
+			Dirs:   dirs,
+			diags:  &diags,
+			allow:  a.Allow,
+			name:   a.Name,
+			scope:  a.Scope,
+			passes: map[*Package]*Pass{},
+		}
+		a.RunModule(mp)
 	}
 	Sort(diags)
 	return diags
@@ -140,8 +214,26 @@ func Run(analyzers []*Analyzer, pkgs []*Package, dirs *Directives) []Diagnostic 
 
 // RunOne runs a single analyzer over one package, ignoring its Scope.
 // The fixture harness uses it to exercise analyzers on testdata packages
-// whose import paths the Scope would reject.
+// whose import paths the Scope would reject. A module-level analyzer is
+// run with that package as the whole module.
 func RunOne(a *Analyzer, pkg *Package, dirs *Directives) []Diagnostic {
+	if a.RunModule != nil {
+		var diags []Diagnostic
+		mp := &ModulePass{
+			Pkgs:   []*Package{pkg},
+			Dirs:   dirs,
+			diags:  &diags,
+			allow:  a.Allow,
+			name:   a.Name,
+			passes: map[*Package]*Pass{},
+		}
+		a.RunModule(mp)
+		return diags
+	}
+	return runPkg(a, pkg, dirs)
+}
+
+func runPkg(a *Analyzer, pkg *Package, dirs *Directives) []Diagnostic {
 	var diags []Diagnostic
 	pass := &Pass{
 		Fset:  pkg.Fset,
@@ -173,7 +265,9 @@ func Sort(diags []Diagnostic) {
 	})
 }
 
-// All returns the four project analyzers in their canonical order.
+// All returns the project analyzers in their canonical order: the four
+// per-package syntactic checks, the CFG/dataflow WAR-hazard pass, and
+// the two interprocedural call-graph passes.
 func All() []*Analyzer {
-	return []*Analyzer{FloatPurity, NVMDiscipline, HotAlloc, ErrCheck}
+	return []*Analyzer{FloatPurity, NVMDiscipline, HotAlloc, ErrCheck, WARHazard, FloatFlow, AllocFlow}
 }

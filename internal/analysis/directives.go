@@ -9,13 +9,20 @@ import (
 
 // The analyzers are steered by //iprune: comment directives:
 //
-//	//iprune:allow-float <reason>  suppress floatpurity findings
+//	//iprune:allow-float <reason>  suppress floatpurity/floatflow findings
 //	//iprune:allow-nvm <reason>    suppress nvmdiscipline findings
-//	//iprune:allow-alloc <reason>  suppress hotalloc findings
+//	//iprune:allow-alloc <reason>  suppress hotalloc/allocflow findings
 //	//iprune:allow-err <reason>    suppress errcheck findings
+//	//iprune:allow-war <reason>    suppress warhazard findings
 //	//iprune:hotpath               mark a function as a hot inner kernel
 //	//iprune:nvm                   mark a type or field as FRAM-backed
 //	//iprune:nvm-api               mark a function as discipline API
+//	//iprune:preserve              mark a function as an atomic
+//	                               preservation/commit primitive: calls to
+//	                               it end a WAR interval, and its own body
+//	                               (the two-phase commit internals, which
+//	                               always look like WARs) is exempt from
+//	                               the warhazard analyzer
 //
 // allow-* directives require a reason — an escape hatch without a
 // justification is itself a finding. Placement decides scope: on a
@@ -40,9 +47,11 @@ var knownDirectives = map[string]bool{
 	"allow-nvm":   true,
 	"allow-alloc": true,
 	"allow-err":   true,
+	"allow-war":   true,
 	"hotpath":     false,
 	"nvm":         false,
 	"nvm-api":     false,
+	"preserve":    false,
 }
 
 // Directives indexes every directive of a load by file, line and

@@ -201,3 +201,104 @@ func TestMissingGoMod(t *testing.T) {
 		t.Fatal("NewLoader without go.mod and module path should fail")
 	}
 }
+
+func TestVendorSkipped(t *testing.T) {
+	// ./... must not descend into vendor trees: vendored packages carry
+	// their own import paths and directives that are not this module's.
+	dir := writeModule(t, "m", map[string]string{
+		"lib/lib.go":             "package lib\n",
+		"vendor/dep/dep.go":      "package dep\n",
+		"lib/vendor/dep2/dep.go": "package dep2\n",
+	})
+	_, pkgs := loadModule(t, dir, "./...")
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	if got := strings.Join(paths, " "); got != "m/lib" {
+		t.Fatalf("Load(./...) = %q, want %q (vendor trees skipped)", got, "m/lib")
+	}
+}
+
+func TestUnderscoreAndDotFilesSkipped(t *testing.T) {
+	// The go tool ignores _*.go and .*.go entirely; loading them would
+	// inject declarations (or syntax errors) the build never sees.
+	dir := writeModule(t, "m", map[string]string{
+		"a.go":      "package m\n\nconst A = 1\n",
+		"_draft.go": "package m\n\nconst A = 2 // redeclaration if loaded\n",
+		".gen.go":   "package m\n\nthis is not Go\n",
+	})
+	_, pkgs := loadModule(t, dir)
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	if len(pkgs[0].Errs) > 0 {
+		t.Fatalf("underscore/dot files leaked into the build: %v", pkgs[0].Errs)
+	}
+	if len(pkgs[0].Files) != 1 {
+		t.Fatalf("parsed %d files, want 1", len(pkgs[0].Files))
+	}
+}
+
+func TestBuildTagExcludedFile(t *testing.T) {
+	// A file constrained to a platform this host is not must be excluded
+	// exactly as the compiler would exclude it: otherwise its
+	// declarations conflict with the host variant's.
+	dir := writeModule(t, "m", map[string]string{
+		"a.go": "package m\n\nfunc impl() int { return 1 }\n",
+		"b.go": "//go:build plan9 && mips64\n\npackage m\n\nfunc impl() int { return 2 }\n",
+	})
+	_, pkgs := loadModule(t, dir)
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	if len(pkgs[0].Errs) > 0 {
+		t.Fatalf("tag-excluded file leaked into the build: %v", pkgs[0].Errs)
+	}
+	if len(pkgs[0].Files) != 1 {
+		t.Fatalf("parsed %d files, want 1 (b.go excluded by //go:build)", len(pkgs[0].Files))
+	}
+}
+
+func TestFilenameSuffixExcludedFile(t *testing.T) {
+	// The _GOOS/_GOARCH filename convention is a build constraint too.
+	dir := writeModule(t, "m", map[string]string{
+		"a.go":             "package m\n\nfunc impl() int { return 1 }\n",
+		"impl_plan9.go":    "package m\n\nfunc impl() int { return 2 }\n",
+		"impl_windows.go":  "package m\n\nfunc impl() int { return 3 }\n",
+		"impl_mips64le.go": "package m\n\nfunc impl() int { return 4 }\n",
+	})
+	_, pkgs := loadModule(t, dir)
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	if len(pkgs[0].Errs) > 0 {
+		t.Fatalf("platform-suffixed files leaked into the build: %v", pkgs[0].Errs)
+	}
+	if len(pkgs[0].Files) != 1 {
+		t.Fatalf("parsed %d files, want 1 (platform variants excluded)", len(pkgs[0].Files))
+	}
+}
+
+func TestSyntaxErrorGraceful(t *testing.T) {
+	// One broken package must not abort the load: the sibling package
+	// still loads clean and the broken one carries its diagnostics.
+	dir := writeModule(t, "m", map[string]string{
+		"good/good.go": "package good\n\nconst OK = 1\n",
+		"bad/bad.go":   "package bad\n\nfunc oops( {\n",
+	})
+	_, pkgs := loadModule(t, dir, "./...")
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	if p := byPath["m/bad"]; p == nil || len(p.Errs) == 0 {
+		t.Fatal("syntax error not recorded on m/bad")
+	}
+	if p := byPath["m/good"]; p == nil || len(p.Errs) != 0 {
+		t.Fatal("clean sibling package affected by m/bad's syntax error")
+	}
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -40,10 +41,37 @@ func runErrCheck(pass *Pass) {
 				check(n.Call)
 			case *ast.GoStmt:
 				check(n.Call)
+			case *ast.AssignStmt:
+				checkBlankClose(pass, n)
 			}
 			return true
 		})
 	}
+}
+
+// checkBlankClose flags `_ = x.Close()`. A plain blank assignment is an
+// accepted explicit discard for most calls, but Close is where buffered
+// sinks surface their flush error: discarding it — even visibly — lets a
+// truncated trace or CSV artifact pass as a successful run. Such sites
+// must handle the error (see obs.WriteFile) or carry //iprune:allow-err.
+func checkBlankClose(pass *Pass, n *ast.AssignStmt) {
+	if n.Tok != token.ASSIGN || len(n.Rhs) != 1 {
+		return
+	}
+	for _, lhs := range n.Lhs {
+		if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+			return
+		}
+	}
+	call, ok := n.Rhs[0].(*ast.CallExpr)
+	if !ok || !returnsError(pass, call) {
+		return
+	}
+	fn := calledFunc(pass, call)
+	if fn == nil || fn.Name() != "Close" {
+		return
+	}
+	pass.Reportf(call.Pos(), "error return of %s is blank-discarded: Close surfaces buffered-write failures, so dropping it can hide a truncated artifact (handle it or annotate //iprune:allow-err)", calleeName(pass, call))
 }
 
 // returnsError reports whether the call yields an error (alone or as part

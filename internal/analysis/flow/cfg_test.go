@@ -1,0 +1,289 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// compile parses and type-checks one source file and returns the named
+// function's declaration plus the type info.
+func compile(t *testing.T, src, fn string) (*ast.FuncDecl, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return fd, info, fset
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil, nil, nil
+}
+
+// reachable walks the graph from Entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var visit func(*Block)
+	visit = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(g.Entry)
+	return seen
+}
+
+func TestBuildStraightLine(t *testing.T) {
+	fd, _, _ := compile(t, `package p
+func f() int {
+	a := 1
+	b := a + 1
+	return b
+}`, "f")
+	g := Build(fd.Body)
+	if len(g.Entry.Nodes) != 3 { // two assigns + return
+		t.Fatalf("entry block has %d nodes, want 3", len(g.Entry.Nodes))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("entry should flow straight to exit, got %v", g.Entry.Succs)
+	}
+}
+
+func TestBuildIfElse(t *testing.T) {
+	fd, _, _ := compile(t, `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`, "f")
+	g := Build(fd.Body)
+	if n := len(g.Entry.Succs); n != 2 {
+		t.Fatalf("condition block has %d successors, want 2", n)
+	}
+	// Both arms must rejoin before the return reaches Exit.
+	join := g.Entry.Succs[0].Succs[0]
+	if g.Entry.Succs[1].Succs[0] != join {
+		t.Fatal("then/else arms do not rejoin at one block")
+	}
+	if len(join.Succs) != 1 || join.Succs[0] != g.Exit {
+		t.Fatal("join block should return to exit")
+	}
+}
+
+func TestBuildForLoopBackEdge(t *testing.T) {
+	fd, _, _ := compile(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`, "f")
+	g := Build(fd.Body)
+	// Find the head: the block holding the condition, with an edge to a
+	// body whose post block edges back to it.
+	var head *Block
+	for _, b := range g.Blocks {
+		if len(b.Succs) != 2 {
+			continue // the head branches to body and after
+		}
+		for _, s := range b.Succs {
+			for _, s2 := range s.Succs {
+				for _, s3 := range s2.Succs {
+					if s3 == b && b != s {
+						head = b
+					}
+				}
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("no loop head on a back-edge cycle found")
+	}
+}
+
+func TestBuildBreakContinue(t *testing.T) {
+	fd, _, _ := compile(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+		s += i
+	}
+	return s
+}`, "f")
+	g := Build(fd.Body)
+	// The graph must stay connected: the return block is reachable.
+	seen := reachable(g)
+	if !seen[g.Exit] {
+		t.Fatal("exit not reachable with break/continue")
+	}
+}
+
+func TestBuildLabeledBreak(t *testing.T) {
+	fd, _, _ := compile(t, `package p
+func f(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 2 {
+				continue outer
+			}
+			if i*j > 10 {
+				break outer
+			}
+			s++
+		}
+	}
+	return s
+}`, "f")
+	g := Build(fd.Body)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable with labeled break/continue")
+	}
+}
+
+func TestBuildSwitchFallthrough(t *testing.T) {
+	fd, _, _ := compile(t, `package p
+func f(x int) int {
+	s := 0
+	switch x {
+	case 1:
+		s = 1
+		fallthrough
+	case 2:
+		s += 2
+	default:
+		s = 9
+	}
+	return s
+}`, "f")
+	g := Build(fd.Body)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable through switch")
+	}
+	// The dispatch head fans out to all 3 clauses (no head→after edge:
+	// there is a default).
+	found := false
+	for _, b := range g.Blocks {
+		if len(b.Succs) >= 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("switch dispatch head with 3 case successors not found")
+	}
+}
+
+func TestBuildRange(t *testing.T) {
+	fd, _, _ := compile(t, `package p
+func f(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}`, "f")
+	g := Build(fd.Body)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable through range loop")
+	}
+	// The range head must have a back edge from the body.
+	hasBack := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			for _, s2 := range s.Succs {
+				if s2 == b {
+					hasBack = true
+				}
+			}
+		}
+	}
+	if !hasBack {
+		t.Fatal("range loop has no back edge")
+	}
+}
+
+func TestBuildGoto(t *testing.T) {
+	fd, _, _ := compile(t, `package p
+func f(n int) int {
+	s := 0
+loop:
+	s++
+	if s < n {
+		goto loop
+	}
+	return s
+}`, "f")
+	g := Build(fd.Body)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable with goto")
+	}
+	hasBack := false
+	seen := map[*Block]bool{}
+	var visit func(b *Block, path map[*Block]bool)
+	visit = func(b *Block, path map[*Block]bool) {
+		if path[b] {
+			hasBack = true
+			return
+		}
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		path[b] = true
+		for _, s := range b.Succs {
+			visit(s, path)
+		}
+		delete(path, b)
+	}
+	visit(g.Entry, map[*Block]bool{})
+	if !hasBack {
+		t.Fatal("goto loop has no cycle in the CFG")
+	}
+}
+
+func TestBuildEarlyReturn(t *testing.T) {
+	fd, _, _ := compile(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	}
+	return 2
+}`, "f")
+	g := Build(fd.Body)
+	// Two paths into Exit.
+	preds := g.Preds()
+	if len(preds[g.Exit]) < 2 {
+		t.Fatalf("exit has %d predecessors, want >= 2", len(preds[g.Exit]))
+	}
+}

@@ -1,0 +1,51 @@
+package flow
+
+// Forward solves a forward dataflow problem to its fixpoint with a
+// worklist. The fact S attached to each block is its *entry* state:
+// the entry block starts from boundary, every other block from
+// bottom(). join folds a predecessor's exit fact src into a block's
+// entry fact dst, returning the merged fact (it may mutate and return
+// dst) and whether anything changed — the solver's convergence signal.
+// transfer maps a block's entry fact to its exit fact and must not
+// mutate its input.
+//
+// The solver terminates for any monotone transfer over a finite-height
+// join semilattice — the shape every analysis in this repo uses
+// (finite sets of objects/definitions under union-like joins).
+func Forward[S any](
+	g *Graph,
+	boundary S,
+	bottom func() S,
+	join func(dst, src S) (S, bool),
+	transfer func(b *Block, in S) S,
+) map[*Block]S {
+	in := make(map[*Block]S, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = bottom()
+	}
+	in[g.Entry] = boundary
+
+	work := make([]*Block, 0, len(g.Blocks))
+	queued := make(map[*Block]bool, len(g.Blocks))
+	push := func(b *Block) {
+		if !queued[b] {
+			queued[b] = true
+			work = append(work, b)
+		}
+	}
+	push(g.Entry)
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := transfer(b, in[b])
+		for _, s := range b.Succs {
+			merged, changed := join(in[s], out)
+			in[s] = merged
+			if changed {
+				push(s)
+			}
+		}
+	}
+	return in
+}

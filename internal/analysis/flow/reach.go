@@ -1,0 +1,126 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Def is one definition (assignment, declaration, or range binding) of a
+// function-local named variable.
+type Def struct {
+	Obj types.Object
+	Pos token.Pos
+}
+
+// Defs is a reaching-definitions fact: the set of definitions that may
+// reach a program point, at most a handful per variable.
+type Defs map[Def]bool
+
+// ReachingDefs computes, for every block of g, the definitions of
+// function-local variables that reach the block's entry. params seeds
+// the entry block with one definition per parameter (pass the objects of
+// the function's parameters and receiver). The classic gen/kill scheme:
+// a new definition of a variable kills every earlier one, and joins are
+// unions, so a merge point sees every definition that survives on some
+// path — including loop-carried ones via the back-edge join.
+func ReachingDefs(g *Graph, info *types.Info, params []types.Object) map[*Block]Defs {
+	boundary := Defs{}
+	for _, p := range params {
+		if p != nil {
+			boundary[Def{Obj: p, Pos: p.Pos()}] = true
+		}
+	}
+	// nil is the solver's bottom: the first fact to arrive at a block is
+	// copied wholesale and always counts as a change, so blocks whose
+	// predecessors generate nothing still get processed (an empty fact
+	// joined into an empty map would otherwise report no change and the
+	// block's own gens would never propagate).
+	join := func(dst, src Defs) (Defs, bool) {
+		if dst == nil {
+			cp := make(Defs, len(src))
+			for d := range src {
+				cp[d] = true
+			}
+			return cp, true
+		}
+		changed := false
+		for d := range src {
+			if !dst[d] {
+				dst[d] = true
+				changed = true
+			}
+		}
+		return dst, changed
+	}
+	transfer := func(b *Block, in Defs) Defs {
+		out := make(Defs, len(in))
+		for d := range in {
+			out[d] = true
+		}
+		for _, n := range b.Nodes {
+			for _, d := range nodeDefs(n, info) {
+				for old := range out {
+					if old.Obj == d.Obj {
+						delete(out, old)
+					}
+				}
+				out[d] = true
+			}
+		}
+		return out
+	}
+	return Forward(g, boundary, func() Defs { return nil }, join, transfer)
+}
+
+// nodeDefs extracts the definitions a single CFG node generates.
+// Only direct identifier targets count: an assignment through a
+// pointer, index or field does not redefine the variable itself.
+func nodeDefs(n ast.Node, info *types.Info) []Def {
+	var defs []Def
+	ident := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if _, isVar := obj.(*types.Var); isVar {
+			defs = append(defs, Def{Obj: obj, Pos: id.Pos()})
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			ident(lhs)
+		}
+	case *ast.IncDecStmt:
+		ident(n.X)
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return nil
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				ident(name)
+			}
+		}
+	case *ast.RangeStmt:
+		// The node stands for the per-iteration key/value binding (see
+		// Build): X lives in a predecessor block.
+		if n.Key != nil {
+			ident(n.Key)
+		}
+		if n.Value != nil {
+			ident(n.Value)
+		}
+	}
+	return defs
+}

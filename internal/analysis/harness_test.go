@@ -127,11 +127,15 @@ func TestFloatPurityFixture(t *testing.T)   { runFixture(t, FloatPurity, "floatp
 func TestNVMDisciplineFixture(t *testing.T) { runFixture(t, NVMDiscipline, "nvmdiscipline") }
 func TestHotAllocFixture(t *testing.T)      { runFixture(t, HotAlloc, "hotalloc") }
 func TestErrCheckFixture(t *testing.T)      { runFixture(t, ErrCheck, "errcheck") }
+func TestWARHazardFixture(t *testing.T)     { runFixture(t, WARHazard, "warhazard") }
+func TestFloatFlowFixture(t *testing.T)     { runFixture(t, FloatFlow, "floatflow") }
+func TestAllocFlowFixture(t *testing.T)     { runFixture(t, AllocFlow, "allocflow") }
 
 // TestFixturesNonEmpty guards the harness itself: a fixture that loads
 // but declares nothing would vacuously pass.
 func TestFixturesNonEmpty(t *testing.T) {
-	for _, name := range []string{"floatpurity", "nvmdiscipline", "hotalloc", "errcheck"} {
+	for _, name := range []string{"floatpurity", "nvmdiscipline", "hotalloc", "errcheck",
+		"warhazard", "floatflow", "allocflow"} {
 		pkg, _ := loadFixture(t, name)
 		if len(fixtureFuncNames(pkg)) == 0 {
 			t.Errorf("fixture %s declares no functions", name)

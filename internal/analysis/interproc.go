@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatFlow and AllocFlow propagate the floatpurity and hotalloc
+// invariants interprocedurally: a //iprune:hotpath function that *calls*
+// a helper which (possibly transitively) performs float arithmetic or
+// allocates has exactly the same problem as one that does so inline —
+// the per-package analyzers just cannot see it, because the offending
+// construct lives in another function or another package.
+//
+// Both passes share one machinery: a summary is computed for every
+// function declaration in the module (does its own body use floats /
+// allocate, ignoring sites blessed by allow-* directives; which
+// module-internal functions does it statically call, and from inside a
+// loop or not), the summaries are closed under the call graph to a
+// fixpoint, and then every call edge leaving a hotpath function is
+// checked against the callee's closure. Interface-method calls have no
+// static callee and are skipped — the analysis is deliberately
+// under-approximate rather than noisy.
+//
+// FloatFlow reports ANY call from a hotpath function to a float-reaching
+// callee, but only inside the fixed-point kernel packages (floatpurity's
+// scope): elsewhere in the module, float use is legitimate. AllocFlow
+// reports only calls made from inside a loop (matching hotalloc's
+// depth rule — a once-per-invocation allocation is amortized) and
+// applies module-wide.
+
+// FloatFlow propagates the fixed-point purity invariant over the call
+// graph. Suppress at the call site with //iprune:allow-float <reason>.
+var FloatFlow = &Analyzer{
+	Name:      "floatflow",
+	Doc:       "no calls from fixed-point hot paths to float-using functions (interprocedural)",
+	Allow:     "allow-float",
+	Scope:     FloatPurity.Scope,
+	RunModule: runFloatFlow,
+}
+
+// AllocFlow propagates the hot-loop allocation invariant over the call
+// graph. Suppress at the call site with //iprune:allow-alloc <reason>.
+var AllocFlow = &Analyzer{
+	Name:      "allocflow",
+	Doc:       "no calls from hot-path loops to allocating functions (interprocedural)",
+	Allow:     "allow-alloc",
+	Scope:     func(path string) bool { return true },
+	RunModule: runAllocFlow,
+}
+
+// callEdge is one static call site inside a summarized function.
+type callEdge struct {
+	callee *types.Func
+	pos    token.Pos
+	inLoop bool
+}
+
+// funcSummary is what the fixpoint knows about one function declaration.
+type funcSummary struct {
+	fn   *types.Func
+	pkg  *Package
+	decl *ast.FuncDecl
+
+	selfFloat token.Pos // first unsuppressed float site, or NoPos
+	selfAlloc token.Pos // first unsuppressed allocation site, or NoPos
+	edges     []callEdge
+
+	// Fixpoint results: the witness site and the call chain (excluding
+	// this function) leading to it. floatSite/allocSite == NoPos means
+	// unreachable.
+	floatSite token.Pos
+	floatPath []*types.Func
+	allocSite token.Pos
+	allocPath []*types.Func
+}
+
+// summarize builds and closes the summaries for every function
+// declaration across the module's packages.
+func summarize(mp *ModulePass) ([]*funcSummary, map[*types.Func]*funcSummary) {
+	var order []*funcSummary
+	index := map[*types.Func]*funcSummary{}
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				s := &funcSummary{fn: fn, pkg: pkg, decl: fd}
+				s.build(mp.Dirs)
+				order = append(order, s)
+				index[fn] = s
+			}
+		}
+	}
+	propagate(order, index)
+	return order, index
+}
+
+// build walks one function body collecting unsuppressed float and
+// allocation sites and all static module-internal call edges. Function
+// literals fold into the enclosing declaration (they inherit its
+// directives and run in its frame); loop depth carries into them, since
+// a closure created in a loop runs at least as often as the loop body.
+func (s *funcSummary) build(dirs *Directives) {
+	pkg := s.pkg
+	info := pkg.Info
+	blessedFloat := dirs.ObjHas(s.fn, "allow-float")
+	blessedAlloc := dirs.ObjHas(s.fn, "allow-alloc")
+	suppressed := func(pos token.Pos, allow string) bool {
+		p := pkg.Fset.Position(pos)
+		return dirs.FileHas(p.Filename, allow) ||
+			dirs.LineHas(p.Filename, p.Line, allow) ||
+			dirs.LineHas(p.Filename, p.Line-1, allow)
+	}
+	noteFloat := func(pos token.Pos) {
+		if s.selfFloat == token.NoPos && !blessedFloat && !suppressed(pos, "allow-float") {
+			s.selfFloat = pos
+		}
+	}
+	noteAlloc := func(pos token.Pos) {
+		if s.selfAlloc == token.NoPos && !blessedAlloc && !suppressed(pos, "allow-alloc") {
+			s.selfAlloc = pos
+		}
+	}
+	isFloat := func(e ast.Expr) bool { return isFloatType(info.Types[e].Type) }
+
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.ForStmt:
+				if node.Init != nil {
+					walk(node.Init, depth)
+				}
+				if node.Cond != nil {
+					walk(node.Cond, depth)
+				}
+				if node.Post != nil {
+					walk(node.Post, depth)
+				}
+				walk(node.Body, depth+1)
+				return false
+			case *ast.RangeStmt:
+				if node.X != nil {
+					walk(node.X, depth)
+				}
+				walk(node.Body, depth+1)
+				return false
+			case *ast.FuncLit:
+				noteAlloc(node.Pos()) // the closure value itself allocates
+				walk(node.Body, depth)
+				return false
+			case *ast.BinaryExpr:
+				if arithmeticOp(node.Op) && (isFloat(node.X) || isFloat(node.Y)) {
+					noteFloat(node.OpPos)
+				}
+			case *ast.UnaryExpr:
+				if (node.Op == token.SUB || node.Op == token.ADD) && isFloat(node.X) {
+					noteFloat(node.OpPos)
+				}
+			case *ast.AssignStmt:
+				if arithmeticAssign(node.Tok) {
+					for _, lhs := range node.Lhs {
+						if isFloat(lhs) {
+							noteFloat(node.TokPos)
+							break
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				if t := info.Types[node].Type; t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						noteAlloc(node.Pos())
+					}
+				}
+			case *ast.CallExpr:
+				if tv, ok := info.Types[node.Fun]; ok && tv.IsType() {
+					if isFloatType(tv.Type) && len(node.Args) == 1 {
+						noteFloat(node.Lparen)
+					}
+					return true // conversion, not a call
+				}
+				if id, ok := node.Fun.(*ast.Ident); ok {
+					if b, ok := info.Uses[id].(*types.Builtin); ok {
+						switch b.Name() {
+						case "make", "new", "append":
+							noteAlloc(node.Pos())
+						}
+						return true
+					}
+				}
+				if callee := staticCallee(info, node); callee != nil && !interfaceMethod(callee) {
+					s.edges = append(s.edges, callEdge{callee: callee, pos: node.Pos(), inLoop: depth > 0})
+				}
+			}
+			return true
+		})
+	}
+	walk(s.decl.Body, 0)
+}
+
+// interfaceMethod reports whether fn is declared on an interface type —
+// a call through it has no static callee.
+func interfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, isIface := sig.Recv().Type().Underlying().(*types.Interface)
+	return isIface
+}
+
+// propagate closes the summaries under the call graph: a function
+// reaches a float/alloc site if its own body has one, or any summarized
+// callee reaches one. Iteration order is fixed so witness chains are
+// deterministic.
+func propagate(order []*funcSummary, index map[*types.Func]*funcSummary) {
+	for _, s := range order {
+		s.floatSite, s.allocSite = s.selfFloat, s.selfAlloc
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range order {
+			for _, e := range s.edges {
+				c, ok := index[e.callee]
+				if !ok {
+					continue
+				}
+				if s.floatSite == token.NoPos && c.floatSite != token.NoPos {
+					s.floatSite = c.floatSite
+					s.floatPath = append([]*types.Func{c.fn}, c.floatPath...)
+					changed = true
+				}
+				if s.allocSite == token.NoPos && c.allocSite != token.NoPos {
+					s.allocSite = c.allocSite
+					s.allocPath = append([]*types.Func{c.fn}, c.allocPath...)
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func runFloatFlow(mp *ModulePass) {
+	order, index := summarize(mp)
+	for _, s := range order {
+		if !mp.Dirs.ObjHas(s.fn, "hotpath") {
+			continue
+		}
+		pass := mp.Pass(s.pkg)
+		for _, e := range s.edges {
+			c, ok := index[e.callee]
+			if !ok || c.floatSite == token.NoPos {
+				continue
+			}
+			pass.Reportf(e.pos, "fixed-point hot path calls %s, which %s float arithmetic at %s",
+				funcName(c.fn), reachVerb(c.floatPath), s.pkg.Fset.Position(c.floatSite))
+		}
+	}
+}
+
+func runAllocFlow(mp *ModulePass) {
+	order, index := summarize(mp)
+	for _, s := range order {
+		if !mp.Dirs.ObjHas(s.fn, "hotpath") {
+			continue
+		}
+		pass := mp.Pass(s.pkg)
+		for _, e := range s.edges {
+			if !e.inLoop {
+				continue // once-per-invocation calls are amortized
+			}
+			c, ok := index[e.callee]
+			if !ok || c.allocSite == token.NoPos {
+				continue
+			}
+			pass.Reportf(e.pos, "hot loop calls %s, which %s an allocation at %s",
+				funcName(c.fn), reachVerb(c.allocPath), s.pkg.Fset.Position(c.allocSite))
+		}
+	}
+}
+
+// reachVerb phrases how the callee reaches the witness site: directly,
+// or through a chain of further calls.
+func reachVerb(path []*types.Func) string {
+	if len(path) == 0 {
+		return "performs"
+	}
+	names := make([]string, len(path))
+	for i, fn := range path {
+		names[i] = funcName(fn)
+	}
+	return "reaches (via " + strings.Join(names, " -> ") + ")"
+}
+
+// funcName renders a function or method with its receiver type.
+func funcName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}

@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -143,8 +145,8 @@ func (l *Loader) expand(pat string) ([]string, error) {
 }
 
 // walkDirs finds every directory under root holding non-test Go files,
-// skipping hidden directories and testdata trees (mirroring the go
-// tool's ./... semantics).
+// skipping hidden directories, testdata trees and vendor directories
+// (mirroring the go tool's ./... semantics).
 func (l *Loader) walkDirs(root string) ([]string, error) {
 	var dirs []string
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
@@ -155,7 +157,8 @@ func (l *Loader) walkDirs(root string) ([]string, error) {
 			return nil
 		}
 		name := d.Name()
-		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
 			return filepath.SkipDir
 		}
 		if hasGoFiles(path) {
@@ -172,11 +175,105 @@ func hasGoFiles(dir string) bool {
 		return false
 	}
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+		if !e.IsDir() && sourceFileName(e.Name()) {
 			return true
 		}
 	}
 	return false
+}
+
+// sourceFileName reports whether a file name belongs to the buildable,
+// non-test source set: the go tool ignores files starting with "_" or
+// "." entirely, and _test.go files are the test build.
+func sourceFileName(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, "_") &&
+		!strings.HasPrefix(name, ".")
+}
+
+// Platform constraint evaluation: the analyzers run on the host the lint
+// runs on, so files constrained to another GOOS/GOARCH are excluded just
+// as the compiler would exclude them — analyzing them would produce
+// type errors against the host's dependency set.
+
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// fileNameConstraintOK evaluates the _GOOS and _GOARCH filename suffix
+// convention (name_linux.go, name_arm64.go, name_linux_arm64.go).
+func fileNameConstraintOK(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	if len(parts) < 2 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	if knownArch[last] {
+		if last != runtime.GOARCH {
+			return false
+		}
+		if len(parts) >= 3 {
+			if penult := parts[len(parts)-2]; knownOS[penult] && penult != runtime.GOOS {
+				return false
+			}
+		}
+		return true
+	}
+	if knownOS[last] {
+		return last == runtime.GOOS
+	}
+	return true
+}
+
+// buildConstraintOK evaluates a parsed file's //go:build (or legacy
+// // +build) constraint against the host platform. Files without a
+// constraint are always included.
+func buildConstraintOK(f *ast.File) bool {
+	for _, g := range f.Comments {
+		if g.Pos() >= f.Package {
+			break
+		}
+		for _, c := range g.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue // malformed constraint: include, let the compiler complain
+			}
+			return expr.Eval(buildTagSatisfied)
+		}
+	}
+	return true
+}
+
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "aix", "android", "darwin", "dragonfly", "freebsd", "illumos",
+			"ios", "linux", "netbsd", "openbsd", "solaris":
+			return true
+		}
+		return false
+	}
+	// Any toolchain new enough to build this module satisfies its go1.x
+	// tags; custom tags are off by default, as in the go tool.
+	return strings.HasPrefix(tag, "go1.")
 }
 
 func (l *Loader) importPathFor(dir string) (string, error) {
@@ -218,7 +315,7 @@ func (l *Loader) loadPackage(path string) (*Package, error) {
 	pkg := &Package{Path: path, Dir: dir, Fset: l.fset}
 	var names []string
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+		if e.IsDir() || !sourceFileName(e.Name()) || !fileNameConstraintOK(e.Name()) {
 			continue
 		}
 		names = append(names, e.Name())
@@ -228,6 +325,9 @@ func (l *Loader) loadPackage(path string) (*Package, error) {
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			pkg.Errs = append(pkg.Errs, err)
+			continue
+		}
+		if !buildConstraintOK(f) {
 			continue
 		}
 		pkg.Files = append(pkg.Files, f)

@@ -1,0 +1,62 @@
+// Package fixture exercises the allocflow analyzer: loops inside
+// //iprune:hotpath functions must not call helpers that (transitively)
+// allocate — the per-package hotalloc check cannot see across the call.
+// Calls outside any loop are amortized once per invocation and clean.
+package fixture
+
+// grow allocates via append.
+func grow(xs []int) []int {
+	return append(xs, 0)
+}
+
+// viaGrow reaches the allocation one hop down.
+func viaGrow(xs []int) []int {
+	return grow(xs)
+}
+
+// fill is allocation-free.
+func fill(xs []int) {
+	for i := range xs {
+		xs[i] = 1
+	}
+}
+
+// pooled's append is audited amortized — the directive blesses the
+// whole function, so calls to it are clean.
+//
+//iprune:allow-alloc pool-backed slice, growth amortized by caller contract
+func pooled(xs []int) []int {
+	return append(xs, 0)
+}
+
+type tracer struct {
+	buf []int
+}
+
+func (t *tracer) record(v int) {
+	t.buf = append(t.buf, v)
+}
+
+//iprune:hotpath
+func kernel(xs []int, t *tracer) int {
+	xs = grow(xs) // outside any loop: amortized
+	s := 0
+	for _, v := range xs {
+		fill(xs)
+		t.record(v)      // want `hot loop calls tracer\.record, which performs an allocation`
+		xs = viaGrow(xs) // want `hot loop calls viaGrow, which reaches \(via grow\) an allocation`
+		xs = pooled(xs)
+		s += v
+	}
+	return s
+}
+
+//iprune:hotpath
+func suppressedSite(xs []int) int {
+	s := 0
+	for range xs {
+		xs = grow(xs) //iprune:allow-alloc ring-buffer refill, bounded by construction
+		s++
+	}
+	return s
+}

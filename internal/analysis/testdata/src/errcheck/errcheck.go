@@ -46,3 +46,20 @@ func notExcluded(f *os.File) {
 func escaped() {
 	mayFail() //iprune:allow-err fire-and-forget fixture call
 }
+
+type sink struct{}
+
+func (sink) Close() error { return nil }
+
+func blankClose(s sink) {
+	_ = s.Close() // want `error return of \(fix\.sink\)\.Close is blank-discarded`
+	_ = mayFail() // blank-discarding a non-Close call stays an accepted explicit discard
+}
+
+func blankCloseAllowed(s sink) {
+	_ = s.Close() //iprune:allow-err best-effort cleanup on an error path that already has a cause
+}
+
+func handledClose(s sink) error {
+	return s.Close()
+}

@@ -1,0 +1,45 @@
+// Package fixture exercises the floatflow analyzer: //iprune:hotpath
+// functions must not call helpers that (transitively) perform float
+// arithmetic — the per-package floatpurity check cannot see across the
+// call.
+package fixture
+
+// scale uses float arithmetic directly.
+func scale(x int) int {
+	return int(float64(x) * 1.5)
+}
+
+// viaScale reaches float use one hop down the call graph.
+func viaScale(x int) int {
+	return scale(x) + 1
+}
+
+// pure is integer-only.
+func pure(x int) int {
+	return x * 2
+}
+
+// blessed's float use is audited — the directive blesses the whole
+// function, so calls to it are clean.
+//
+//iprune:allow-float calibration boundary, conversion audited here
+func blessed(x int) int {
+	return int(float64(x))
+}
+
+//iprune:hotpath
+func kernel(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += pure(v)
+	}
+	s += scale(s)    // want `fixed-point hot path calls scale, which performs float arithmetic`
+	s += viaScale(s) // want `fixed-point hot path calls viaScale, which reaches \(via scale\) float arithmetic`
+	s += blessed(s)
+	return s
+}
+
+//iprune:hotpath
+func suppressedSite(x int) int {
+	return scale(x) //iprune:allow-float boundary conversion, audited at this call site
+}

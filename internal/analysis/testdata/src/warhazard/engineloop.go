@@ -1,0 +1,51 @@
+package fixture
+
+// engineloop models the HAWAII-style preservation loop: a tiled MAC
+// kernel accumulating into an NVM partial buffer, committing a job
+// counter every jobSz operations.
+
+//iprune:nvm
+type loopState struct {
+	opCounter int
+	partial   []int32
+	shadow    []int32
+	acts      []int16
+}
+
+type loopEngine struct {
+	nvm   loopState
+	jobSz int
+}
+
+// commitOp atomically publishes job progress.
+//
+//iprune:preserve
+func (e *loopEngine) commitOp(ord int) {
+	e.nvm.opCounter = ord + 1
+}
+
+// infer carries a seeded WAR hazard: the accumulation reads the running
+// partial sum and writes it back within the same job interval. After a
+// power failure mid-job, the re-executed MACs double-count everything
+// since the last commitOp.
+func (e *loopEngine) infer(w []int16) {
+	for ord := 0; ord < len(w); ord += e.jobSz {
+		for i := ord; i < ord+e.jobSz && i < len(w); i++ {
+			acc := e.nvm.partial[i]
+			e.nvm.partial[i] = acc + int32(w[i])*int32(e.nvm.acts[i]) // want `WAR hazard on NVM-backed loopState\.partial`
+		}
+		e.commitOp(ord)
+	}
+}
+
+// inferShadow is the idempotent variant: reads come from the committed
+// buffer, writes go to the shadow, and commitOp publishes the swap —
+// re-executed MACs never observe their own writes.
+func (e *loopEngine) inferShadow(w []int16) {
+	for ord := 0; ord < len(w); ord += e.jobSz {
+		for i := ord; i < ord+e.jobSz && i < len(w); i++ {
+			e.nvm.shadow[i] = e.nvm.partial[i] + int32(w[i])*int32(e.nvm.acts[i])
+		}
+		e.commitOp(ord)
+	}
+}

@@ -1,0 +1,113 @@
+// Package fixture exercises the warhazard analyzer: NVM-backed state
+// must not be written after being read within one preservation interval
+// (write-after-read breaks re-execution idempotence). Tracking is
+// field-granular: distinct elements of one slice field share a fact.
+package fixture
+
+//iprune:nvm
+type state struct {
+	counter int64
+	col     int
+	data    []int16
+	partial [2][]int16
+}
+
+type engine struct {
+	nvm state
+}
+
+// commit is the preservation primitive: calls to it end the WAR
+// interval, and its own body (two-phase commit internals, which always
+// look like WARs) is exempt.
+//
+//iprune:preserve
+func (e *engine) commit() {
+	e.nvm.counter = e.nvm.counter + 1
+}
+
+// rogue is the classic non-idempotent update: read, then write, no
+// preservation point between.
+func (e *engine) rogue() {
+	v := e.nvm.counter
+	e.nvm.counter = v + 1 // want `WAR hazard on NVM-backed state\.counter`
+}
+
+// compound assignment reads then writes in one statement.
+func (e *engine) compound() {
+	e.nvm.counter += 1 // want `WAR hazard on NVM-backed state\.counter`
+}
+
+func (e *engine) incdec() {
+	e.nvm.col++ // want `WAR hazard on NVM-backed state\.col`
+}
+
+// preserved: the commit between read and write ends the interval.
+func (e *engine) preserved() {
+	v := e.nvm.counter
+	e.commit()
+	e.nvm.counter = v + 1
+}
+
+// writeFirst: a location written before any read is safe to rewrite —
+// re-execution deterministically repeats the store.
+func (e *engine) writeFirst() {
+	e.nvm.counter = 0
+	v := e.nvm.counter
+	e.nvm.counter = v + 1
+}
+
+// branchy: the read happens on only one path, but the merge must keep
+// the hazardous state.
+func (e *engine) branchy(c bool) {
+	if c {
+		_ = e.nvm.counter
+	}
+	e.nvm.counter = 7 // want `WAR hazard on NVM-backed state\.counter`
+}
+
+// bothArms: written-first on every incoming path stays written-first
+// through the join.
+func (e *engine) bothArms(c bool) {
+	if c {
+		e.nvm.col = 1
+	} else {
+		e.nvm.col = 2
+	}
+	v := e.nvm.col
+	e.nvm.col = v + 1
+}
+
+// loopRead: a read inside the loop reaches the write after it.
+func (e *engine) loopRead(n int) {
+	s := int64(0)
+	for i := 0; i < n; i++ {
+		s += e.nvm.counter
+	}
+	e.nvm.counter = s // want `WAR hazard on NVM-backed state\.counter`
+}
+
+// loopCommit: committing inside the body ends each iteration's interval
+// before the write, including around the back edge.
+func (e *engine) loopCommit(n int) {
+	for i := 0; i < n; i++ {
+		v := e.nvm.counter
+		e.commit()
+		e.nvm.counter = v + 1
+	}
+}
+
+// derived: a slice local bound to NVM state aliases its backing store.
+// The binding itself copies only the header (idempotent on re-binding);
+// the element read and the element write through the alias are the WAR.
+func (e *engine) derived(i int) {
+	dst := e.nvm.data
+	x := dst[i]
+	dst[i] = x + 1 // want `WAR hazard on NVM-backed state\.data`
+}
+
+// pingpong: field-granular tracking cannot see that reads and writes
+// target opposite parity buffers — the site is justified by design.
+func (e *engine) pingpong(i int) {
+	v := e.nvm.partial[0][i]
+	e.nvm.partial[1][i] = v //iprune:allow-war reads and writes target opposite parity buffers by construction
+}

@@ -1,0 +1,596 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"iprune/internal/analysis/flow"
+)
+
+// WARHazard flags write-after-read (WAR) hazards on //iprune:nvm state
+// between preservation points. The progress-preservation argument
+// (HAWAII⁺, and Alpaca-style idempotence analysis for intermittent
+// programs generally) requires that everything between two commits be
+// safe to re-execute after a power failure. A nonvolatile location that
+// is *read and then overwritten* inside one preservation interval breaks
+// that: re-execution reads the overwritten value and computes a
+// different result than the first attempt — work is silently corrupted
+// rather than resumed.
+//
+// The analyzer builds a per-function CFG (internal/analysis/flow) and
+// runs a forward dataflow whose fact tracks, for each NVM location
+// (field of a //iprune:nvm type, //iprune:nvm field, or whole marked
+// value), whether its *first access since the last preservation point*
+// was a read. A write to a read-first location is a finding; a call to
+// a function marked //iprune:preserve ends the interval (the commit
+// makes everything before it durable, so re-execution restarts after
+// it). A location whose first access is a write is safe to rewrite —
+// deterministic re-execution just repeats the store — which is exactly
+// Alpaca's WAR criterion.
+//
+// Local variables derived from NVM state (`dst := e.nvm.buf[i]`) are
+// tracked flow-insensitively: a write through such an alias is a write
+// to the underlying NVM location. Functions marked //iprune:preserve
+// are themselves exempt — they are the audited two-phase commit
+// internals, which necessarily look like WARs. Sites opt out with
+// //iprune:allow-war <reason>.
+var WARHazard = &Analyzer{
+	Name:  "warhazard",
+	Doc:   "no write-after-read on NVM state between preservation points",
+	Allow: "allow-war",
+	Scope: func(path string) bool { return true },
+	Run:   runWARHazard,
+}
+
+func runWARHazard(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.FuncHas(fd, "preserve") {
+				continue // the commit primitive itself
+			}
+			wf := &warFunc{pass: pass, derived: map[types.Object]types.Object{}, display: map[types.Object]string{}}
+			wf.collectDerived(fd.Body)
+			wf.analyze(fd.Body)
+		}
+	}
+}
+
+// warAccess is the per-location dataflow fact: was the first access in
+// the current preservation interval a read (and where)?
+type warAccess struct {
+	readFirst bool
+	pos       token.Pos // position of the first read, for the diagnostic
+}
+
+// warFact maps an NVM location (the field or type object identifying
+// it) to its first-access state. Absent means untouched this interval.
+type warFact map[types.Object]warAccess
+
+// warFunc analyzes one function body.
+type warFunc struct {
+	pass    *Pass
+	derived map[types.Object]types.Object // local var -> NVM location it aliases
+	display map[types.Object]string       // location -> human name
+}
+
+// collectDerived finds locals that alias NVM state: simple assignments
+// or declarations whose right-hand side resolves to an NVM location
+// (possibly through another derived local), iterated to a fixpoint so
+// chains resolve regardless of order. Only reference types (slices,
+// pointers, maps) alias — writing through them mutates the NVM backing
+// store; a scalar binding is a value copy, i.e. just a read.
+// Flow-insensitive by design: a variable that ever aliases NVM is
+// treated as aliasing it everywhere.
+func (w *warFunc) collectDerived(body *ast.BlockStmt) {
+	bind := func(lhs, rhs ast.Expr) bool {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return false
+		}
+		obj := w.pass.Info.Defs[id]
+		if obj == nil {
+			obj = w.pass.Info.Uses[id]
+		}
+		if obj == nil || !referenceType(obj.Type()) {
+			return false
+		}
+		if _, done := w.derived[obj]; done {
+			return false
+		}
+		if key, disp, ok := w.nvmRef(rhs); ok {
+			w.derived[obj] = key
+			if _, ok := w.display[key]; !ok {
+				w.display[key] = disp
+			}
+			return true
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						if bind(n.Lhs[i], n.Rhs[i]) {
+							changed = true
+						}
+					}
+				}
+			case *ast.DeclStmt:
+				if gd, ok := n.Decl.(*ast.GenDecl); ok {
+					for _, spec := range gd.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Names) == len(vs.Values) {
+							for i := range vs.Names {
+								if bind(vs.Names[i], vs.Values[i]) {
+									changed = true
+								}
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// analyze runs the dataflow over the function body and then replays each
+// block against its fixed entry fact to emit diagnostics exactly once.
+func (w *warFunc) analyze(body *ast.BlockStmt) {
+	g := flow.Build(body)
+	// nil is the solver's bottom (block not yet reached on any path) and
+	// must stay distinct from the empty fact (reached, nothing accessed):
+	// written-first survives a join with bottom but not a join with a
+	// genuinely-untouched path, where the next access may still read.
+	join := func(dst, src warFact) (warFact, bool) {
+		if src == nil {
+			return dst, false
+		}
+		if dst == nil {
+			cp := make(warFact, len(src))
+			for k, v := range src {
+				cp[k] = v
+			}
+			return cp, true
+		}
+		changed := false
+		for key, acc := range src {
+			old, ok := dst[key]
+			switch {
+			case !ok:
+				// Untouched on the dst path: the merge may still read
+				// first, so src's state only survives if it is the
+				// hazardous one.
+				if acc.readFirst {
+					dst[key] = acc
+					changed = true
+				}
+			case old.readFirst:
+				if acc.readFirst && acc.pos < old.pos {
+					dst[key] = acc
+					changed = true
+				}
+			case acc.readFirst:
+				dst[key] = acc
+				changed = true
+			}
+		}
+		// written-first on dst but absent on src: the src path can still
+		// read first later, so written-first must not survive the merge.
+		for key, acc := range dst {
+			if !acc.readFirst {
+				if _, ok := src[key]; !ok {
+					delete(dst, key)
+					changed = true
+				}
+			}
+		}
+		return dst, changed
+	}
+	transfer := func(b *flow.Block, in warFact) warFact {
+		st := make(warFact, len(in))
+		for k, v := range in {
+			st[k] = v
+		}
+		for _, n := range b.Nodes {
+			w.node(n, st, false)
+		}
+		return st
+	}
+	facts := flow.Forward(g, warFact{}, func() warFact { return nil }, join, transfer)
+	for _, b := range g.Blocks {
+		st := make(warFact, len(facts[b]))
+		for k, v := range facts[b] {
+			st[k] = v
+		}
+		for _, n := range b.Nodes {
+			w.node(n, st, true)
+		}
+	}
+}
+
+// node interprets one CFG node, updating the fact and (when report is
+// set) emitting diagnostics for hazardous writes.
+func (w *warFunc) node(n ast.Node, st warFact, report bool) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		compound := n.Tok != token.ASSIGN && n.Tok != token.DEFINE
+		if !compound && len(n.Lhs) == len(n.Rhs) {
+			// Pairwise: an alias binding (dst := e.nvm.buf[k]) copies a
+			// slice header or address, not the data a later write will
+			// overwrite — re-binding on re-execution is idempotent — so
+			// it does not count as a read of the location. Its index
+			// sub-expressions are still real reads.
+			for i := range n.Rhs {
+				if w.aliasBinding(n.Lhs[i], n.Rhs[i]) {
+					w.indexReads(n.Rhs[i], st)
+				} else {
+					w.reads(n.Rhs[i], st)
+				}
+			}
+		} else {
+			for _, rhs := range n.Rhs {
+				w.reads(rhs, st)
+			}
+		}
+		for _, lhs := range n.Lhs {
+			if compound {
+				w.reads(lhs, st) // x += v reads x first
+			}
+			w.writeTarget(lhs, st, report)
+		}
+	case *ast.IncDecStmt:
+		w.reads(n.X, st)
+		w.writeTarget(n.X, st, report)
+	case *ast.ExprStmt:
+		w.reads(n.X, st)
+	case *ast.SendStmt:
+		w.reads(n.Chan, st)
+		w.reads(n.Value, st)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			w.reads(r, st)
+		}
+	case *ast.DeferStmt:
+		// Argument evaluation happens here; the deferred call itself
+		// runs at return and is not a preservation point on this path.
+		w.readsCallArgs(n.Call, st)
+	case *ast.GoStmt:
+		w.readsCallArgs(n.Call, st)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.reads(v, st)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// Stands for the per-iteration key/value binding (flow.Build);
+		// X was consumed in a predecessor block.
+		if n.Key != nil {
+			w.writeTarget(n.Key, st, report)
+		}
+		if n.Value != nil {
+			w.writeTarget(n.Value, st, report)
+		}
+	case ast.Expr:
+		w.reads(n, st)
+	}
+}
+
+// reads records every NVM read inside the expression and handles calls:
+// arguments are read, and a call to a //iprune:preserve function ends
+// the interval. Function-literal bodies are skipped — they execute when
+// called, and the analyzer treats closures conservatively (their NVM
+// accesses are out of this function's interval tracking).
+func (w *warFunc) reads(e ast.Expr, st warFact) {
+	switch x := e.(type) {
+	case nil:
+	case *ast.ParenExpr:
+		w.reads(x.X, st)
+	case *ast.StarExpr:
+		w.reads(x.X, st)
+	case *ast.UnaryExpr:
+		w.reads(x.X, st)
+	case *ast.BinaryExpr:
+		w.reads(x.X, st)
+		w.reads(x.Y, st)
+	case *ast.KeyValueExpr:
+		w.reads(x.Key, st)
+		w.reads(x.Value, st)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			w.reads(el, st)
+		}
+	case *ast.TypeAssertExpr:
+		w.reads(x.X, st)
+	case *ast.FuncLit:
+		// skip: see doc comment
+	case *ast.CallExpr:
+		w.readsCallArgs(x, st)
+		if fn := staticCallee(w.pass.Info, x); fn != nil && w.pass.Dirs.ObjHas(fn, "preserve") {
+			// Preservation point: everything before it is durable.
+			for k := range st {
+				delete(st, k)
+			}
+		}
+	case *ast.SliceExpr:
+		if key, disp, ok := w.nvmRef(x); ok {
+			w.read(key, disp, x.Pos(), st)
+		} else {
+			w.reads(x.X, st)
+		}
+		w.reads(x.Low, st)
+		w.reads(x.High, st)
+		w.reads(x.Max, st)
+	case *ast.IndexExpr:
+		if key, disp, ok := w.nvmRef(x); ok {
+			w.read(key, disp, x.Pos(), st)
+		} else {
+			w.reads(x.X, st)
+		}
+		w.reads(x.Index, st)
+	case *ast.SelectorExpr:
+		if key, disp, ok := w.nvmRef(x); ok {
+			w.read(key, disp, x.Pos(), st)
+			return
+		}
+		w.reads(x.X, st)
+	case *ast.Ident:
+		if key, disp, ok := w.nvmRef(x); ok {
+			w.read(key, disp, x.Pos(), st)
+		}
+	}
+}
+
+func (w *warFunc) readsCallArgs(call *ast.CallExpr, st warFact) {
+	// A method receiver read (e.nvm.buf.Len()) counts too.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		w.reads(sel.X, st)
+	}
+	for _, a := range call.Args {
+		w.reads(a, st)
+	}
+}
+
+// aliasBinding reports whether lhs is a local the derived-alias pass
+// bound to exactly the NVM location rhs denotes.
+func (w *warFunc) aliasBinding(lhs, rhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := w.pass.Info.Defs[id]
+	if obj == nil {
+		obj = w.pass.Info.Uses[id]
+	}
+	if obj == nil {
+		return false
+	}
+	key, bound := w.derived[obj]
+	if !bound {
+		return false
+	}
+	rkey, _, ok := w.nvmRef(rhs)
+	return ok && rkey == key
+}
+
+// read records a first access being a read. A location already written
+// this interval stays written-first: re-execution deterministically
+// repeats the store before the read, so the read is consistent. Reading
+// a whole marked struct reads every field.
+func (w *warFunc) read(key types.Object, disp string, pos token.Pos, st warFact) {
+	if _, ok := st[key]; !ok {
+		st[key] = warAccess{readFirst: true, pos: pos}
+		w.display[key] = disp
+	}
+	if named := asNamed(key.Type()); named != nil && w.pass.Dirs.ObjHas(named.Obj(), "nvm") {
+		if s, ok := named.Underlying().(*types.Struct); ok {
+			for i := 0; i < s.NumFields(); i++ {
+				f := s.Field(i)
+				if _, ok := st[f]; !ok {
+					st[f] = warAccess{readFirst: true, pos: pos}
+					w.display[f] = named.Obj().Name() + "." + f.Name()
+				}
+			}
+		}
+	}
+}
+
+// writeTarget resolves an assignment target; an NVM write to a
+// read-first location is the hazard. Assigning to a derived local
+// *itself* (dst = ..., not dst[i] = ...) only replaces the local's
+// header — the NVM backing store is untouched.
+func (w *warFunc) writeTarget(e ast.Expr, st warFact, report bool) {
+	if id, ok := e.(*ast.Ident); ok {
+		obj := w.pass.Info.Defs[id]
+		if obj == nil {
+			obj = w.pass.Info.Uses[id]
+		}
+		if obj != nil {
+			if _, isAlias := w.derived[obj]; isAlias {
+				return
+			}
+		}
+	}
+	key, disp, ok := w.nvmRef(e)
+	if !ok {
+		// Index/slice sub-expressions of a non-NVM target may still
+		// read NVM (a[nvm.idx] = v); nvmRef's unwrap loop covers the
+		// NVM case below, so only scan here.
+		w.indexReads(e, st)
+		return
+	}
+	w.indexReads(e, st)
+	if acc, hit := st[key]; hit && acc.readFirst {
+		if report {
+			w.pass.Reportf(e.Pos(),
+				"WAR hazard on NVM-backed %s: written after a read at line %d with no preservation point between (re-execution after a power failure would observe the new value; commit through an //iprune:preserve function or annotate //iprune:allow-war)",
+				disp, w.pass.Fset.Position(acc.pos).Line)
+		}
+		// Downgrade to written-first: one report per interval per site.
+		st[key] = warAccess{}
+		w.display[key] = disp
+		return
+	}
+	if _, hit := st[key]; !hit {
+		st[key] = warAccess{} // written-first: safe to re-execute
+		w.display[key] = disp
+	}
+	// Writing a whole marked struct makes every field written-first.
+	if named := asNamed(key.Type()); named != nil && w.pass.Dirs.ObjHas(named.Obj(), "nvm") {
+		if s, ok := named.Underlying().(*types.Struct); ok {
+			for i := 0; i < s.NumFields(); i++ {
+				f := s.Field(i)
+				if _, hit := st[f]; !hit {
+					st[f] = warAccess{}
+					w.display[f] = named.Obj().Name() + "." + f.Name()
+				}
+			}
+		}
+	}
+}
+
+// indexReads scans the index/slice sub-expressions along an assignment
+// target's access path for NVM reads (the target itself is the write).
+func (w *warFunc) indexReads(e ast.Expr, st warFact) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			w.reads(x.Index, st)
+			e = x.X
+		case *ast.SliceExpr:
+			w.reads(x.Low, st)
+			w.reads(x.High, st)
+			w.reads(x.Max, st)
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// nvmRef resolves an expression to the NVM location it denotes: a field
+// marked //iprune:nvm, any field of a type marked //iprune:nvm, a whole
+// value of a marked type, or a local variable derived from one
+// (collectDerived). Returns the identifying object and a display name.
+func (w *warFunc) nvmRef(e ast.Expr) (types.Object, string, bool) {
+	p := w.pass
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel, ok := p.Info.Selections[x]; ok {
+				if obj := sel.Obj(); obj != nil && p.Dirs.ObjHas(obj, "nvm") {
+					return obj, obj.Name(), true
+				}
+				if named := asNamed(sel.Recv()); named != nil && p.Dirs.ObjHas(named.Obj(), "nvm") {
+					if obj := sel.Obj(); obj != nil {
+						return obj, named.Obj().Name() + "." + x.Sel.Name, true
+					}
+				}
+			}
+			if named := asNamed(p.Info.Types[x].Type); named != nil && p.Dirs.ObjHas(named.Obj(), "nvm") {
+				if obj, ok := selectionObj(p, x); ok {
+					return obj, named.Obj().Name(), true
+				}
+				return named.Obj(), named.Obj().Name(), true
+			}
+			e = x.X
+		case *ast.Ident:
+			obj := p.Info.Uses[x]
+			if obj == nil {
+				obj = p.Info.Defs[x]
+			}
+			if obj != nil {
+				if key, ok := w.derived[obj]; ok {
+					return key, w.display[key] + " (via " + x.Name + ")", true
+				}
+				if p.Dirs.ObjHas(obj, "nvm") {
+					return obj, obj.Name(), true
+				}
+			}
+			if named := asNamed(p.Info.Types[x].Type); named != nil && p.Dirs.ObjHas(named.Obj(), "nvm") {
+				if obj != nil {
+					return obj, named.Obj().Name() + " " + x.Name, true
+				}
+				return named.Obj(), named.Obj().Name(), true
+			}
+			return nil, "", false
+		default:
+			return nil, "", false
+		}
+	}
+}
+
+// selectionObj returns the field object a selector denotes, if any.
+func selectionObj(p *Pass, x *ast.SelectorExpr) (types.Object, bool) {
+	if sel, ok := p.Info.Selections[x]; ok && sel.Obj() != nil {
+		return sel.Obj(), true
+	}
+	return nil, false
+}
+
+// referenceType reports whether writes through a value of t reach
+// shared backing storage.
+func referenceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map:
+		return true
+	}
+	return false
+}
+
+// asNamed unwraps pointers to a named type.
+func asNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// staticCallee resolves a call expression's target function when it is
+// a plain function or method reference.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -102,6 +102,66 @@ type nvmState struct {
 	partial   [2][]fixed.Q15
 }
 
+// The commit primitives below are the engine's only NVM write sites.
+// Each models one atomic preservation point (on the device: a bounded
+// FRAM store sequence completed within the energy budget of a single
+// capacitor charge). They are marked //iprune:preserve: the warhazard
+// analyzer treats a call as ending the current WAR interval and exempts
+// their bodies, which by nature read-modify-write the store.
+
+// resetNVM reinitializes the persistent store for a fresh inference and
+// commits the quantized input as the layer -1 activation.
+//
+//iprune:nvm-api
+//iprune:preserve
+func (e *Engine) resetNVM(in []fixed.Q15) {
+	e.nvm = nvmState{acts: map[int][]fixed.Q15{}, actShifts: map[int]int{}}
+	e.nvm.acts[-1] = in
+	e.nvm.actShifts[-1] = e.inShift
+}
+
+// commitAct atomically publishes a stage's output activation — the
+// preservation point that ends a CPU stage or a finalize interval.
+//
+//iprune:nvm-api
+//iprune:preserve
+func (e *Engine) commitAct(li int, act []fixed.Q15, shift int) {
+	e.nvm.acts[li] = act
+	e.nvm.actShifts[li] = shift
+}
+
+// commitStage advances the committed stage cursor and resets the
+// per-stage NVM cursors for the next one.
+//
+//iprune:nvm-api
+//iprune:preserve
+func (e *Engine) commitStage() {
+	e.nvm.stage++
+	e.nvm.opCounter = 0
+	e.nvm.txDone = false
+}
+
+// commitTransform publishes the transformed (im2col) GEMM operand and
+// sizes the ping-pong partial buffers for a fresh stage entry.
+//
+//iprune:nvm-api
+//iprune:preserve
+func (e *Engine) commitTransform(col []fixed.Q15, mn int) {
+	e.nvm.col = col
+	e.nvm.txDone = true
+	e.nvm.partial[0] = make([]fixed.Q15, mn)
+	e.nvm.partial[1] = make([]fixed.Q15, mn)
+}
+
+// commitOp publishes the job counter after an op's data write — the
+// HAWAII job-counter preservation step.
+//
+//iprune:nvm-api
+//iprune:preserve
+func (e *Engine) commitOp(ord int64) {
+	e.nvm.opCounter = ord + 1
+}
+
 // NewEngine deploys the network (BSR + Q15) and prepares the engine.
 // Output scale shifts default to 2 everywhere; run Calibrate with a few
 // samples to fit them to the activation ranges.
@@ -194,22 +254,21 @@ func rescaleQ(q fixed.Q15, from, to int) fixed.Q15 {
 
 // Infer executes one sample. The injector is consulted at every
 // preservation boundary; the run completes regardless of failures, and
-// the result is bit-identical to a failure-free run.
-//
-//iprune:nvm-api
+// the result is bit-identical to a failure-free run. Every NVM store is
+// routed through one of the //iprune:preserve commit primitives below,
+// so the write surface the warhazard analyzer reasons about is exactly
+// the set of named preservation points.
 func (e *Engine) Infer(x *tensor.Tensor, inj FailureInjector) (*InferResult, error) {
 	if inj == nil {
 		inj = NoFailures{}
 	}
-	e.nvm = nvmState{acts: map[int][]fixed.Q15{}, actShifts: map[int]int{}}
 	// Quantize the input "sensor reading" into NVM.
 	in := make([]fixed.Q15, x.Len())
 	scale := pow2(-e.inShift)
 	for i, v := range x.Data {
 		in[i] = fixed.FromFloat(float64(v) * scale) //iprune:allow-float sensor-reading quantization boundary
 	}
-	e.nvm.acts[-1] = in
-	e.nvm.actShifts[-1] = e.inShift
+	e.resetNVM(in)
 	var stats ExecStats
 
 	e.clk = obs.StepClock{T: e.Trace}
@@ -250,10 +309,7 @@ func (e *Engine) Infer(x *tensor.Tensor, inj FailureInjector) (*InferResult, err
 		if _, ok := layer.(nn.Prunable); ok {
 			pi++
 		}
-		// Stage committed: advance and reset per-stage NVM cursors.
-		e.nvm.stage++
-		e.nvm.opCounter = 0
-		e.nvm.txDone = false
+		e.commitStage()
 	}
 	e.clk.Emit(obs.KindPowerOff, -1, -1, 0, 0)
 
@@ -288,10 +344,9 @@ func pow2(n int) float64 {
 
 // runCPUStage executes a non-accelerated layer (activation, pooling,
 // flatten) as one atomic recomputable step: it reads the committed input
-// activation from NVM, computes in VM, and commits the output. A failure
-// before the commit simply recomputes.
+// activation from NVM, computes in VM, and commits the output through
+// commitAct. A failure before the commit simply recomputes.
 //
-//iprune:nvm-api
 //iprune:hotpath
 func (e *Engine) runCPUStage(li int, inj FailureInjector, stats *ExecStats) (failed bool, err error) {
 	in := e.nvm.acts[li-1]
@@ -347,8 +402,7 @@ func (e *Engine) runCPUStage(li int, inj FailureInjector, stats *ExecStats) (fai
 	if inj.Fail() {
 		return true, nil
 	}
-	e.nvm.acts[li] = out
-	e.nvm.actShifts[li] = shift
+	e.commitAct(li, out, shift)
 	stats.AuxWriteBytes += int64(2 * len(out))
 	e.clk.Emit(obs.KindPreserve, li, -1, int64(2*len(in)), int64(2*len(out)))
 	return false, nil
@@ -359,7 +413,6 @@ func (e *Engine) runCPUStage(li int, inj FailureInjector, stats *ExecStats) (fai
 // the injector fired; the committed NVM cursors make re-entry resume at
 // the interrupted op.
 //
-//iprune:nvm-api
 //iprune:hotpath
 func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool, stats *ExecStats) (failed bool, err error) {
 	spec := &e.Specs[pi]
@@ -379,17 +432,12 @@ func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool
 		if inj.Fail() {
 			return true, nil
 		}
-		e.nvm.col = col
-		e.nvm.txDone = true
+		e.commitTransform(col, spec.M*spec.N)
 		stats.AuxWriteBytes += int64(2 * len(col))
 		e.clk.Emit(obs.KindPreserve, li, -1, 0, int64(2*len(col)))
 		// If the failure hit the transform itself, redoing it was the
 		// recovery; the first op then runs for the first time.
 		resuming = false
-		// Fresh stage entry: size the ping-pong partial buffers.
-		mn := spec.M * spec.N
-		e.nvm.partial[0] = make([]fixed.Q15, mn)
-		e.nvm.partial[1] = make([]fixed.Q15, mn)
 	}
 
 	brs := (spec.M + spec.TM - 1) / spec.TM
@@ -478,7 +526,7 @@ func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool
 						if seen > 0 {
 							prev = src[gr*spec.N+gc]
 						}
-						dst[gr*spec.N+gc] = fixed.Add(prev, contrib)
+						dst[gr*spec.N+gc] = fixed.Add(prev, contrib) //iprune:allow-war ping-pong parity: the read targets the opposite buffer, which this op never writes
 					}
 				}
 				opWrite := int64(2*rm*tn) + int64(e.Cfg.IndicatorBytes)
@@ -489,7 +537,7 @@ func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool
 					// untouched previous-parity buffer — idempotent.
 					return true, nil
 				}
-				e.nvm.opCounter = ord + 1
+				e.commitOp(ord)
 				stats.Ops++
 				stats.Jobs += int64(rm * tn)
 				if e.clk.Enabled() {
@@ -528,8 +576,7 @@ func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool
 	if inj.Fail() {
 		return true, nil
 	}
-	e.nvm.acts[li] = out
-	e.nvm.actShifts[li] = outShift
+	e.commitAct(li, out, outShift)
 	stats.AuxWriteBytes += int64(2 * spec.M * spec.N)
 	e.clk.Emit(obs.KindPreserve, li, -1, int64(2*spec.M*spec.N), int64(2*spec.M*spec.N))
 	return false, nil

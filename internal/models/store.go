@@ -49,7 +49,7 @@ func Save(path string, net *nn.Network, seed int64) error {
 		return fmt.Errorf("models: save: %w", err)
 	}
 	if err := gob.NewEncoder(f).Encode(snap); err != nil {
-		_ = f.Close() // the encode error is the one to surface
+		_ = f.Close() //iprune:allow-err the encode error is the one to surface; the artifact is discarded
 		return fmt.Errorf("models: save %s: %w", path, err)
 	}
 	if err := f.Close(); err != nil {

@@ -165,6 +165,7 @@ func (c *StepClock) Enabled() bool { return c.T != nil && c.T.Enabled() }
 // Emit records one event at the current step and advances the clock.
 //
 //iprune:hotpath
+//iprune:allow-float step-counter-to-timestamp conversion is confined here by design (see type doc)
 func (c *StepClock) Emit(kind Kind, layer int, op int64, read, write int64) {
 	if !c.Enabled() {
 		return

@@ -6,9 +6,27 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"text/tabwriter"
 )
+
+// WriteFile creates path and renders into it, closing the file and
+// propagating the first failure. The Close error matters here: buffered
+// writes can surface their I/O error only at close, and a truncated
+// artifact silently presented as a successful run is exactly what the
+// errcheck analyzer exists to prevent.
+func WriteFile(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		_ = f.Close() //iprune:allow-err render failed first and wins; the artifact is discarded either way
+		return err
+	}
+	return f.Close()
+}
 
 // layerName resolves a layer index against the caller-provided name
 // table (spec names for the cost simulator, net-layer names for the
@@ -182,6 +200,119 @@ func WriteCSV(w io.Writer, s *RunStats, names []string) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// histCSVHeader is the long-form histogram schema written by
+// WriteHistogramsCSV: one row per bucket.
+var histCSVHeader = []string{"histogram", "le", "count", "sum", "n"}
+
+// WriteHistogramsCSV renders every histogram of the registry in a
+// machine-readable long form, one CSV row per bucket: `le` is the
+// bucket's inclusive upper bound ("+Inf" for the overflow bucket), and
+// `sum`/`n` repeat the histogram totals on every row so any single row
+// reconstructs the mean. The layout loads directly into pandas/R for
+// the paper's latency/energy distribution plots.
+func WriteHistogramsCSV(w io.Writer, m *Metrics) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(histCSVHeader); err != nil {
+		return err
+	}
+	for _, h := range m.Histograms() {
+		for i, cnt := range h.Counts {
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = strconv.FormatFloat(h.Bounds[i], 'g', -1, 64)
+			}
+			row := []string{
+				h.Name,
+				le,
+				strconv.FormatInt(cnt, 10),
+				strconv.FormatFloat(h.Sum, 'g', -1, 64),
+				strconv.FormatInt(h.N, 10),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadHistogramsCSV parses the WriteHistogramsCSV layout back into a
+// registry — the round-trip partner used by tests and by tooling that
+// post-processes exported runs. Buckets must appear in ascending bound
+// order ending with the "+Inf" overflow row, as written.
+func ReadHistogramsCSV(r io.Reader) (*Metrics, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("obs: empty histogram CSV")
+	}
+	if got, want := fmt.Sprint(rows[0]), fmt.Sprint(histCSVHeader); got != want {
+		return nil, fmt.Errorf("obs: histogram CSV header %v, want %v", rows[0], histCSVHeader)
+	}
+	type partial struct {
+		bounds []float64
+		counts []int64
+		sum    float64
+		n      int64
+		closed bool // overflow row seen
+	}
+	m := NewMetrics()
+	parts := map[string]*partial{}
+	var order []string
+	for i, row := range rows[1:] {
+		if len(row) != len(histCSVHeader) {
+			return nil, fmt.Errorf("obs: histogram CSV row %d has %d fields, want %d", i+2, len(row), len(histCSVHeader))
+		}
+		name := row[0]
+		p, ok := parts[name]
+		if !ok {
+			p = &partial{}
+			parts[name] = p
+			order = append(order, name)
+		}
+		if p.closed {
+			return nil, fmt.Errorf("obs: histogram %s has buckets after its +Inf row", name)
+		}
+		cnt, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: histogram CSV row %d: bad count %q", i+2, row[2])
+		}
+		sum, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: histogram CSV row %d: bad sum %q", i+2, row[3])
+		}
+		n, err := strconv.ParseInt(row[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: histogram CSV row %d: bad n %q", i+2, row[4])
+		}
+		if row[1] == "+Inf" {
+			p.closed = true
+		} else {
+			b, err := strconv.ParseFloat(row[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: histogram CSV row %d: bad bound %q", i+2, row[1])
+			}
+			p.bounds = append(p.bounds, b)
+		}
+		p.counts = append(p.counts, cnt)
+		p.sum, p.n = sum, n
+	}
+	for _, name := range order {
+		p := parts[name]
+		if !p.closed {
+			return nil, fmt.Errorf("obs: histogram %s missing its +Inf overflow row", name)
+		}
+		h := m.Histogram(name, p.bounds)
+		copy(h.Counts, p.counts)
+		h.Sum, h.N = p.sum, p.n
+	}
+	return m, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -143,7 +143,12 @@ func (s *Sim) drawCyclePower() float64 {
 // Recharge before resuming. Harvested power arriving during the activity
 // offsets the draw.
 //
+// The energy ledger (OnTime, EnergyUsed, Failures) models NVM-resident
+// counters updated atomically at each draw, so the read-modify-write
+// pattern inside is the audited commit itself.
+//
 //iprune:nvm-api
+//iprune:preserve
 func (s *Sim) Consume(energy, dt float64) bool {
 	if energy < 0 || dt < 0 {
 		panic(fmt.Sprintf("power: negative consume (%g J, %g s)", energy, dt))
@@ -184,7 +189,10 @@ func (s *Sim) Consume(energy, dt float64) bool {
 // while the harvester refills the buffer from VOff to VOn. It returns the
 // off-time spent and rolls the jitter for the next cycle.
 //
+// Like Consume, the OffTime ledger update is the atomic commit.
+//
 //iprune:nvm-api
+//iprune:preserve
 func (s *Sim) Recharge() float64 {
 	if s.Supply.Continuous {
 		return 0

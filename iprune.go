@@ -244,6 +244,20 @@ func WriteTraceSummary(w io.Writer, s *RunStats, m *Metrics, names []string) err
 	return obs.WriteSummary(w, s, m, names)
 }
 
+// WriteHistogramsCSV renders every histogram of a metrics registry in
+// long form, one CSV row per bucket (le = inclusive upper bound, "+Inf"
+// for overflow) — the machine-readable companion to WriteTraceSummary.
+func WriteHistogramsCSV(w io.Writer, m *Metrics) error {
+	return obs.WriteHistogramsCSV(w, m)
+}
+
+// WriteArtifact creates path and renders into it, surfacing write and
+// close errors instead of leaving a silently truncated file. It is the
+// export primitive behind every CLI -trace/-metrics/-hist flag.
+func WriteArtifact(path string, render func(io.Writer) error) error {
+	return obs.WriteFile(path, render)
+}
+
 // ObserveModel registers the analytic per-layer cost counters of the
 // network (ops, jobs — the pruning criterion —, MACs and NVM traffic)
 // in a metrics registry.

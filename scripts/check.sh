@@ -24,6 +24,17 @@ echo "== go test -race"
 go test -race ./...
 
 echo "== iprunelint"
-go run ./cmd/iprunelint ./...
+go run ./cmd/iprunelint -json ./...
+
+# Benchmark regression gate: when at least two BENCH_<date>.json
+# snapshots exist, diff the two most recent (lexical date sort) and fail
+# on hot-path regressions. One snapshot alone is just a baseline.
+snaps=$(ls BENCH_*.json 2>/dev/null | sort | tail -2 || true)
+if [ "$(printf '%s\n' "$snaps" | grep -c .)" -ge 2 ]; then
+    old=$(printf '%s\n' "$snaps" | head -1)
+    new=$(printf '%s\n' "$snaps" | tail -1)
+    echo "== benchdiff $old -> $new"
+    go run ./cmd/benchdiff "$old" "$new"
+fi
 
 echo "OK"
