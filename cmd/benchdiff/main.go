@@ -10,8 +10,12 @@
 // Every benchmark present in both snapshots is compared; ones matching
 // -hot are gating: a ns/op increase beyond -ns-threshold percent, or
 // any allocs/op increase at all (the tracing layer's zero-alloc budget),
-// fails the diff. Non-hot benchmarks are reported but never fail —
-// macro benchmarks (whole pruning runs) jitter too much to gate on.
+// fails the diff. A hot benchmark whose baseline ns/op is zero or
+// missing cannot be compared by percent and fails closed, and a hot
+// benchmark that disappeared from the new snapshot fails too — a
+// deleted benchmark must not silently drop its gate. Non-hot benchmarks
+// are reported but never fail — macro benchmarks (whole pruning runs)
+// jitter too much to gate on.
 //
 // Exit status: 0 no hot-path regression, 1 regression found, 2
 // operational error (bad invocation, unreadable or malformed snapshot).
@@ -24,12 +28,14 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 )
 
 // defaultHot matches the kernel/engine benchmarks whose per-op numbers
 // are stable enough to gate on: the fixed-point kernels, the HAWAII⁺
-// engine, the sparse formats and the cost simulator.
-const defaultHot = `Gemm|Conv|Engine|BSR|CostSim|Schedule`
+// engine, the sparse formats, the cost simulator and the streaming
+// trace encoder (whose zero-alloc Emit budget the alloc gate enforces).
+const defaultHot = `Gemm|Conv|Engine|BSR|CostSim|Schedule|StreamTracer`
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -100,12 +106,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		compared++
 		gating := hot.MatchString(nb.Name)
 		pct := 0.0
-		if ob.NsPerOp > 0 {
+		pctOK := ob.NsPerOp > 0
+		if pctOK {
 			pct = 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
 		}
 		status := "ok   "
 		fail := false
-		if gating && pct > *threshold {
+		if gating && pctOK && pct > *threshold {
+			status = "FAIL "
+			fail = true
+		}
+		if gating && !pctOK && nb.NsPerOp > 0 {
+			// A zero/absent baseline gives no percentage to gate on: fail
+			// closed instead of letting an unbounded regression through.
 			status = "FAIL "
 			fail = true
 		}
@@ -126,7 +139,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "%s %-40s %12.0f -> %12.0f ns/op (%+.1f%%)%s\n",
 			status, nb.Name, ob.NsPerOp, nb.NsPerOp, pct, allocNote)
 	}
+	gone := make([]string, 0, len(oldBy))
 	for key := range oldBy {
+		gone = append(gone, key)
+	}
+	sort.Strings(gone)
+	for _, key := range gone {
+		if hot.MatchString(oldBy[key].Name) {
+			// A vanished hot benchmark silently retires its gate: treat
+			// the disappearance itself as a failure.
+			fmt.Fprintf(stdout, "FAIL  %s disappeared from %s (hot benchmarks must not vanish)\n", key, fs.Arg(1))
+			regressions++
+			continue
+		}
 		fmt.Fprintf(stdout, "gone  %s (present in %s only)\n", key, fs.Arg(0))
 	}
 

@@ -120,6 +120,50 @@ func TestOperationalErrors(t *testing.T) {
 	}
 }
 
+// TestZeroBaselineHotFailsClosed pins the div-by-zero guard: a hot
+// benchmark whose baseline ns/op is zero has no percentage to gate on
+// and must fail rather than sail through on pct == 0.
+func TestZeroBaselineHotFailsClosed(t *testing.T) {
+	old := writeSnap(t, "old.json", "0", 0, "5000")
+	cur := writeSnap(t, "new.json", "999999", 0, "5000") // huge, but pct would be 0
+	code, stdout, stderr := runDiff(t, old, cur)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "FAIL ") {
+		t.Errorf("zero-baseline hot benchmark not failed:\n%s", stdout)
+	}
+	// Zero on both sides carries no signal and must not gate.
+	same := writeSnap(t, "same.json", "0", 0, "5000")
+	same2 := writeSnap(t, "same2.json", "0", 0, "5000")
+	if code, stdout, _ := runDiff(t, same, same2); code != 0 {
+		t.Errorf("zero-vs-zero: exit %d, want 0\n%s", code, stdout)
+	}
+}
+
+// TestGoneHotBenchmarkFails pins the disappearance gate: deleting a hot
+// benchmark from the new snapshot must fail the diff, not just log it.
+func TestGoneHotBenchmarkFails(t *testing.T) {
+	old := writeSnap(t, "old.json", "1000", 0, "5000")
+	cur := filepath.Join(t.TempDir(), "new.json")
+	content := `{
+  "date": "2026-08-07",
+  "benchmarks": [
+    {"pkg": "iprune", "name": "BenchmarkTable1Environment", "iterations": 100, "ns_per_op": 5000, "bytes_per_op": 1384, "allocs_per_op": 20}
+  ]
+}`
+	if err := os.WriteFile(cur, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runDiff(t, old, cur)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "FAIL  iprune.BenchmarkGemm64 disappeared") {
+		t.Errorf("gone hot benchmark not failed:\n%s", stdout)
+	}
+}
+
 func TestGoneAndNewBenchmarks(t *testing.T) {
 	old := writeSnap(t, "old.json", "1000", 0, "5000")
 	cur := filepath.Join(t.TempDir(), "new.json")

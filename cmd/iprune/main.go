@@ -22,6 +22,10 @@
 //	                  inference of the pruned model under -power
 //	-metrics FILE     write per-layer metrics CSV of that inference
 //	-v                print the per-layer summary of that inference
+//	-diff             simulate one inference of the unpruned and the pruned
+//	                  model under -power and print the per-layer delta
+//	                  (latency, energy, preserves, re-executions)
+//	-diffcsv FILE     write that delta as long-form CSV
 package main
 
 import (
@@ -48,6 +52,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON of one pruned-model inference")
 	metricsPath := flag.String("metrics", "", "write per-layer metrics CSV of one pruned-model inference")
 	verbose := flag.Bool("v", false, "print per-layer summary of one pruned-model inference")
+	diff := flag.Bool("diff", false, "print per-layer before/after pruning delta of one inference under -power")
+	diffCSVPath := flag.String("diffcsv", "", "write the before/after pruning delta as long-form CSV")
 	flag.Parse()
 
 	var crit iprune.Criterion
@@ -128,6 +134,37 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", path)
+
+	// Optional cross-run diff: one observed inference of the unpruned
+	// network against one of the pruned result under the same supply and
+	// seed, so the pruning story reads per layer (latency, energy,
+	// preserves, re-executions) instead of only in the aggregate numbers
+	// above. The pruner leaves its input network untouched, so `net` is
+	// the before side.
+	if *diff || *diffCSVPath != "" {
+		observe := func(n *iprune.Network) *iprune.RunStats {
+			rec := iprune.NewTraceRecorder()
+			iprune.SimulateObserved(n, sup, *seed, rec)
+			return iprune.CollectTrace(rec.Events())
+		}
+		d := iprune.DiffTrace(observe(net), observe(res.Net))
+		names := iprune.PrunableLayerNames(res.Net)
+		if *diff {
+			fmt.Printf("pruning impact under %s (unpruned vs pruned):\n", sup.Name)
+			if err := iprune.WriteTraceDiffTable(os.Stdout, d, names); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *diffCSVPath != "" {
+			err := iprune.WriteArtifact(*diffCSVPath, func(w io.Writer) error {
+				return iprune.WriteTraceDiffCSV(w, d, names)
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote diff %s\n", *diffCSVPath)
+		}
+	}
 
 	// Optional observability pass: trace one intermittent inference of the
 	// pruned model so the effect of pruning is visible per layer and per

@@ -1,12 +1,14 @@
 // Command isim simulates intermittent DNN inference of a model on the
 // MSP430-class device under a chosen power supply, reporting latency,
-// energy, power cycles and the active-time breakdown.
+// energy, power cycles and the active-time breakdown. It also diffs two
+// previously exported per-layer metrics CSVs against each other.
 //
 // Usage:
 //
 //	isim -model HAR -power weak
 //	isim -in har-iprune.model -power 6mW -n 5
 //	isim -model HAR -power weak -trace run.json -metrics run.csv -v
+//	isim -compare before.csv after.csv
 //
 // Flags:
 //
@@ -15,11 +17,15 @@
 //	-power NAME    continuous | strong | weak, or a custom value like 6mW
 //	-n N           number of inferences to simulate (default 1)
 //	-seed N        random seed for harvest jitter (default 1)
-//	-trace FILE    write a Chrome trace-event JSON of the first inference
-//	               (open in https://ui.perfetto.dev or chrome://tracing)
+//	-trace FILE    stream a Chrome trace-event JSON of the first inference
+//	               (open in https://ui.perfetto.dev or chrome://tracing);
+//	               events are encoded as they happen, so memory use does
+//	               not grow with the run
 //	-metrics FILE  write per-layer latency/energy/NVM-traffic CSV of the
 //	               first inference
 //	-v             print a per-layer and per-power-cycle summary table
+//	-compare       diff two per-layer metrics CSVs (written by -metrics)
+//	               layer by layer and exit: isim -compare A.csv B.csv
 package main
 
 import (
@@ -38,11 +44,22 @@ func main() {
 	powerName := flag.String("power", "strong", "supply: continuous|strong|weak or e.g. 6mW")
 	n := flag.Int("n", 1, "inferences to simulate")
 	seed := flag.Int64("seed", 1, "harvest jitter seed")
-	tracePath := flag.String("trace", "", "write Chrome trace-event JSON of the first inference")
+	tracePath := flag.String("trace", "", "stream Chrome trace-event JSON of the first inference")
 	metricsPath := flag.String("metrics", "", "write per-layer metrics CSV of the first inference")
 	histPath := flag.String("hist", "", "write latency/energy/utilization histograms CSV of the first inference")
 	verbose := flag.Bool("v", false, "print per-layer and power-cycle summary")
+	compare := flag.Bool("compare", false, "diff two per-layer metrics CSVs: isim -compare A.csv B.csv")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: isim -compare before.csv after.csv")
+		}
+		if err := compareCSVs(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var net *iprune.Network
 	var err error
@@ -70,19 +87,35 @@ func main() {
 
 	// Observability is attached to the first inference only: one run is
 	// what a trace viewer wants, and repeated inferences differ only by
-	// harvest jitter.
-	observing := *tracePath != "" || *metricsPath != "" || *histPath != "" || *verbose
+	// harvest jitter. The trace artifact streams straight to disk; a
+	// recorder rides along only when aggregated views need the events.
+	names := iprune.PrunableLayerNames(net)
 	var rec *iprune.TraceRecorder
-	if observing {
+	if *metricsPath != "" || *histPath != "" || *verbose {
 		rec = iprune.NewTraceRecorder()
+	}
+	var stream *iprune.TraceStream
+	if *tracePath != "" {
+		if stream, err = iprune.CreateTraceStream(*tracePath, names); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var tr iprune.Tracer
+	switch {
+	case stream != nil && rec != nil:
+		tr = iprune.TeeTracers(stream, rec)
+	case stream != nil:
+		tr = stream
+	case rec != nil:
+		tr = rec
 	}
 
 	var totalLat, totalEnergy float64
 	var totalFail int
 	for i := 0; i < *n; i++ {
 		var r iprune.SimResult
-		if i == 0 && observing {
-			r = iprune.SimulateObserved(net, sup, *seed+int64(i), rec)
+		if i == 0 && tr != nil {
+			r = iprune.SimulateObserved(net, sup, *seed+int64(i), tr)
 		} else {
 			r = iprune.Simulate(net, sup, *seed+int64(i))
 		}
@@ -106,22 +139,20 @@ func main() {
 			totalLat/float64(*n), float64(totalFail)/float64(*n), totalEnergy*1e3/float64(*n))
 	}
 
-	if !observing {
-		return
-	}
-	names := iprune.PrunableLayerNames(net)
-	stats := iprune.CollectTrace(rec.Events())
-
-	if *tracePath != "" {
-		err := iprune.WriteArtifact(*tracePath, func(w io.Writer) error {
-			return iprune.WriteChromeTrace(w, rec.Events(), names)
-		})
-		if err != nil {
+	if stream != nil {
+		// A failed Close means the artifact is truncated: exit non-zero
+		// rather than reporting a file that will not load.
+		if err := stream.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote trace %s (%d events; open in https://ui.perfetto.dev)\n",
-			*tracePath, len(rec.Events()))
+		fmt.Printf("wrote trace %s (%d events, streamed; open in https://ui.perfetto.dev)\n",
+			*tracePath, stream.Events())
 	}
+	if rec == nil {
+		return
+	}
+	stats := iprune.CollectTrace(rec.Events())
+
 	if *metricsPath != "" {
 		err := iprune.WriteArtifact(*metricsPath, func(w io.Writer) error {
 			return iprune.WriteTraceCSV(w, stats, names)
@@ -150,4 +181,38 @@ func main() {
 			}
 		}
 	}
+}
+
+// compareCSVs diffs two per-layer metrics CSV exports (the -metrics
+// format) layer by layer and renders the comparison table.
+func compareCSVs(w io.Writer, pathA, pathB string) error {
+	before, namesA, err := readStatsFile(pathA)
+	if err != nil {
+		return err
+	}
+	after, namesB, err := readStatsFile(pathB)
+	if err != nil {
+		return err
+	}
+	names := namesA
+	if len(namesB) > len(names) {
+		names = namesB
+	}
+	if _, err := fmt.Fprintf(w, "comparing %s vs %s\n", pathA, pathB); err != nil {
+		return err
+	}
+	return iprune.WriteTraceDiffTable(w, iprune.DiffTrace(before, after), names)
+}
+
+func readStatsFile(path string) (*iprune.RunStats, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close() //iprune:allow-err read-only file; ReadTraceCSV errors dominate
+	s, names, err := iprune.ReadTraceCSV(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, names, nil
 }

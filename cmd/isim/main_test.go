@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"iprune"
@@ -46,6 +47,53 @@ func TestSupplyParsing(t *testing.T) {
 	// scripted `-power weak` is exactly the paper's 4 mW point.
 	if sup, _ := iprune.ParseSupply("weak"); sup != iprune.WeakPower {
 		t.Errorf("weak resolved to %+v", sup)
+	}
+}
+
+// TestCompareCSVs drives the -compare mode end to end: two simulated
+// runs exported via the -metrics schema, loaded back and diffed.
+func TestCompareCSVs(t *testing.T) {
+	net, err := iprune.BuildModel("HAR", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := iprune.PrunableLayerNames(net)
+	dir := t.TempDir()
+	write := func(name string, sup iprune.Supply) string {
+		rec := iprune.NewTraceRecorder()
+		iprune.SimulateObserved(net, sup, 2, rec)
+		path := filepath.Join(dir, name)
+		err := iprune.WriteArtifact(path, func(w io.Writer) error {
+			return iprune.WriteTraceCSV(w, iprune.CollectTrace(rec.Events()), names)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	a := write("strong.csv", iprune.StrongPower)
+	b := write("weak.csv", iprune.WeakPower)
+
+	var sb strings.Builder
+	if err := compareCSVs(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range append([]string{"total", "->"}, names...) {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	// Self-compare renders without arrows (no metric changed).
+	sb.Reset()
+	if err := compareCSVs(&sb, a, a); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "->") {
+		t.Errorf("self-compare must not show changes:\n%s", sb.String())
+	}
+	if err := compareCSVs(io.Discard, a, filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("compare must surface a missing input file")
 	}
 }
 

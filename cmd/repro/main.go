@@ -15,15 +15,22 @@
 //	-seed N             master random seed (default 42)
 //	-q                  quiet: suppress progress logging
 //	-csv FILE           also write tidy results CSV (pipeline targets only)
+//	-artifacts DIR      stream a Chrome trace of each regenerated target to
+//	                    DIR/<target>/trace.json (table1 has no simulation
+//	                    and writes none); traces stream straight to disk,
+//	                    so -scale full stays bounded in memory
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"path/filepath"
 
 	"iprune/internal/models"
+	"iprune/internal/obs"
 	"iprune/internal/report"
 )
 
@@ -33,6 +40,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "master random seed")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	csvPath := flag.String("csv", "", "also write tidy results CSV to this path")
+	artifacts := flag.String("artifacts", "", "stream per-target trace artifacts under DIR/<target>/trace.json")
 	flag.Parse()
 	what := flag.Arg(0)
 	if what == "" {
@@ -64,17 +72,40 @@ func main() {
 			log.Fatal(err)
 		}
 		if *csvPath != "" {
-			f, err := os.Create(*csvPath)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := report.WriteCSV(f, results); err != nil {
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
+			// obs.WriteFile surfaces close/flush errors, so a full disk is
+			// a failed run rather than a truncated results file.
+			if err := obs.WriteFile(*csvPath, func(w io.Writer) error {
+				return report.WriteCSV(w, results)
+			}); err != nil {
 				log.Fatal(err)
 			}
 		}
+	}
+
+	// writeTrace streams one target's Chrome trace artifact. Any create,
+	// write or close failure is fatal: a truncated trace.json will not
+	// load in a viewer and must not look like a produced artifact.
+	writeTrace := func(target string, render func(io.Writer) error) {
+		if *artifacts == "" {
+			return
+		}
+		dir := filepath.Join(*artifacts, target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(dir, "trace.json")
+		if err := obs.WriteFile(path, render); err != nil {
+			log.Fatal(err)
+		}
+		if logf != nil {
+			logf("wrote %s", path)
+		}
+	}
+	if what == "fig2" || what == "all" {
+		writeTrace("fig2", func(w io.Writer) error { return report.WriteFig2Traces(w, *seed) })
+	}
+	if needsPipeline[what] {
+		writeTrace(what, func(w io.Writer) error { return report.WriteRunTraces(w, results, *seed) })
 	}
 
 	switch what {

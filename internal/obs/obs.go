@@ -140,11 +140,17 @@ func (r *Recorder) Emit(ev Event) {
 	r.events = append(r.events, ev) //iprune:allow-alloc amortized growth of the opt-in recording buffer
 }
 
-// Events returns the recorded events in emission order.
+// Events returns the recorded events in emission order. The slice
+// aliases the recorder's buffer and stays valid after a Reset: Reset
+// abandons the backing array instead of truncating it, so events
+// emitted afterwards can never clobber a previously returned snapshot.
 func (r *Recorder) Events() []Event { return r.events }
 
-// Reset discards the recorded events, keeping the buffer.
-func (r *Recorder) Reset() { r.events = r.events[:0] }
+// Reset discards the recorded events. It allocates a fresh buffer of
+// the same capacity rather than truncating in place — truncation would
+// make subsequent Emits overwrite the backing array of slices handed
+// out by Events before the Reset.
+func (r *Recorder) Reset() { r.events = make([]Event, 0, cap(r.events)) }
 
 // StepClock drives a Tracer from functional execution, where simulated
 // time is the count of preservation steps rather than seconds: every

@@ -45,6 +45,30 @@ func TestRecorder(t *testing.T) {
 	}
 }
 
+// TestRecorderResetPreservesSnapshots is the regression test for the
+// Reset-clobbering bug: Events() slices taken before a Reset must keep
+// their contents when the recorder is reused, and must not observe
+// events emitted afterwards.
+func TestRecorderResetPreservesSnapshots(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Kind: KindPowerOn, Time: 1})
+	r.Emit(Event{Kind: KindPowerOff, Time: 2})
+	snap := r.Events()
+	r.Reset()
+	r.Emit(Event{Kind: KindFailure, Time: 99})
+	r.Emit(Event{Kind: KindCharge, Time: 100})
+	if len(snap) != 2 {
+		t.Fatalf("snapshot length changed to %d", len(snap))
+	}
+	if snap[0].Kind != KindPowerOn || snap[0].Time != 1 ||
+		snap[1].Kind != KindPowerOff || snap[1].Time != 2 {
+		t.Errorf("snapshot clobbered by post-Reset emissions: %+v", snap)
+	}
+	if got := r.Events(); len(got) != 2 || got[0].Kind != KindFailure {
+		t.Errorf("post-Reset recording wrong: %+v", got)
+	}
+}
+
 func TestStepClockMonotonic(t *testing.T) {
 	r := NewRecorder()
 	c := StepClock{T: r}

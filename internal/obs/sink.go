@@ -21,11 +21,21 @@ func WriteFile(path string, render func(io.Writer) error) error {
 	if err != nil {
 		return err
 	}
-	if err := render(f); err != nil {
-		_ = f.Close() //iprune:allow-err render failed first and wins; the artifact is discarded either way
+	return RenderTo(f, render)
+}
+
+// RenderTo renders into wc and closes it, propagating the first failure
+// — the render error when rendering fails (the artifact is discarded
+// either way), otherwise the Close error, where buffered writers
+// surface a deferred flush failure. WriteFile is this over os.Create;
+// the split exists so the Close-failure contract is testable with an
+// error-injecting WriteCloser.
+func RenderTo(wc io.WriteCloser, render func(io.Writer) error) error {
+	if err := render(wc); err != nil {
+		_ = wc.Close() //iprune:allow-err render failed first and wins; the artifact is discarded either way
 		return err
 	}
-	return f.Close()
+	return wc.Close()
 }
 
 // layerName resolves a layer index against the caller-provided name

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -151,6 +152,86 @@ func TestSupplies(t *testing.T) {
 	s := Supplies()
 	if len(s) != 3 || s[0].Name != "continuous" || s[2].Name != "weak" {
 		t.Errorf("Supplies = %v", s)
+	}
+}
+
+func TestWriteRunTraces(t *testing.T) {
+	results := fakeResults(t)
+	var buf strings.Builder
+	if err := WriteRunTraces(&buf, results, 1); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	procs := map[string]int{}
+	for _, e := range tr.TraceEvents {
+		if e.Name == "process_name" {
+			if n, ok := e.Args["name"].(string); ok {
+				procs[n] = e.Pid
+			}
+		}
+	}
+	// One process group per app, labelled with the traced variant, with
+	// distinct pids.
+	pids := map[int]bool{}
+	for _, app := range models.Names() {
+		pid, ok := procs[app+" iPrune"]
+		if !ok {
+			t.Errorf("trace missing process group for %s (got %v)", app, procs)
+			continue
+		}
+		pids[pid] = true
+	}
+	if len(pids) != len(models.Names()) {
+		t.Errorf("process groups share pids: %v", procs)
+	}
+	if len(tr.TraceEvents) <= len(procs) {
+		t.Error("trace holds no simulation events")
+	}
+	// Results without variants contribute nothing but do not fail.
+	var empty strings.Builder
+	if err := WriteRunTraces(&empty, []*AppResult{{App: "X"}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(empty.String(), "process_name") {
+		t.Error("variant-less result must not open a process group")
+	}
+}
+
+func TestWriteFig2Traces(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteFig2Traces(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	procs := map[string]bool{}
+	for _, e := range tr.TraceEvents {
+		if e.Name == "process_name" {
+			if n, ok := e.Args["name"].(string); ok {
+				procs[n] = true
+			}
+		}
+	}
+	for _, app := range models.Names() {
+		if !procs[app+" conventional"] || !procs[app+" intermittent"] {
+			t.Errorf("fig2 trace missing %s sections (got %v)", app, procs)
+		}
 	}
 }
 

@@ -1,0 +1,77 @@
+package report
+
+import (
+	"io"
+
+	"iprune/internal/hawaii"
+	"iprune/internal/models"
+	"iprune/internal/obs"
+	"iprune/internal/power"
+	"iprune/internal/tile"
+)
+
+// specNames extracts the layer-name table of an app's schedule for the
+// trace sinks.
+func specNames(specs []tile.LayerSpec) []string {
+	names := make([]string, len(specs))
+	for i := range specs {
+		names[i] = specs[i].Name
+	}
+	return names
+}
+
+// WriteRunTraces streams one observed intermittent inference per
+// evaluated application into a single Chrome trace: each app's iPrune
+// variant (falling back to the last variant present) simulated under
+// the strong supply, rendered as its own Perfetto process group. The
+// events stream straight to w, so a full-scale run never holds a trace
+// in memory.
+func WriteRunTraces(w io.Writer, results []*AppResult, seed int64) error {
+	st := obs.NewStreamTracer(w, nil)
+	cfg := tile.DefaultConfig()
+	for _, r := range results {
+		if len(r.Variants) == 0 {
+			continue
+		}
+		v := &r.Variants[len(r.Variants)-1]
+		for i := range r.Variants {
+			if r.Variants[i].Name == "iPrune" {
+				v = &r.Variants[i]
+				break
+			}
+		}
+		st.NextProcess(r.App+" "+v.Name, specNames(r.Specs))
+		cs := hawaii.NewCostSim(cfg)
+		cs.Trace = st
+		cs.RunNetwork(v.Net, r.Specs, tile.Intermittent, power.StrongPower, seed)
+	}
+	return st.Close()
+}
+
+// WriteFig2Traces streams the Figure 2 story as a Chrome trace: for
+// every application, the unpruned model under the conventional
+// continuous-power flow and under the intermittent discipline, one
+// process group per (app, mode) pair — the event-level companion to
+// Fig2Breakdown's aggregate split.
+func WriteFig2Traces(w io.Writer, seed int64) error {
+	st := obs.NewStreamTracer(w, nil)
+	cfg := tile.DefaultConfig()
+	for _, app := range models.Names() {
+		net, err := models.ByName(app, seed)
+		if err != nil {
+			return err
+		}
+		specs := tile.SpecsFromNetwork(net, cfg)
+		tile.InstallMasks(net, specs)
+		for _, mode := range []struct {
+			label string
+			m     tile.Mode
+		}{{"conventional", tile.Continuous}, {"intermittent", tile.Intermittent}} {
+			st.NextProcess(app+" "+mode.label, specNames(specs))
+			cs := hawaii.NewCostSim(cfg)
+			cs.Trace = st
+			cs.RunNetwork(net, specs, mode.m, power.ContinuousPower, seed)
+		}
+	}
+	return st.Close()
+}

@@ -38,6 +38,7 @@ package iprune
 import (
 	"io"
 	"math/rand"
+	"os"
 
 	"iprune/internal/compress"
 	"iprune/internal/core"
@@ -85,6 +86,11 @@ type (
 	TraceEvent = obs.Event
 	// TraceRecorder records emitted events in memory for export.
 	TraceRecorder = obs.Recorder
+	// TraceStreamer encodes events straight to an io.Writer as Chrome
+	// trace JSON in O(1) event memory (see NewTraceStreamer).
+	TraceStreamer = obs.StreamTracer
+	// TraceDiff is the typed cross-run comparison of two RunStats.
+	TraceDiff = obs.StatsDiff
 	// RunStats is the per-layer / per-power-cycle aggregation of a
 	// recorded run.
 	RunStats = obs.RunStats
@@ -201,6 +207,74 @@ func SimulateObserved(net *Network, sup Supply, seed int64, tr Tracer) SimResult
 // NewTraceRecorder returns an in-memory event recorder to pass to
 // SimulateObserved or an Engine's Trace field.
 func NewTraceRecorder() *TraceRecorder { return obs.NewRecorder() }
+
+// NewTraceStreamer returns a tracer that renders each emitted event as
+// Chrome trace-event JSON straight into w, retaining nothing — the
+// constant-memory counterpart of recording and then calling
+// WriteChromeTrace, with byte-identical output. The caller must Close
+// it to terminate the JSON document; any prefix of emissions followed
+// by Close parses.
+func NewTraceStreamer(w io.Writer, names []string) *TraceStreamer {
+	return obs.NewStreamTracer(w, names)
+}
+
+// TeeTracers fans one event stream out to several tracers — typically a
+// streaming artifact writer plus a recorder feeding CollectTrace. Nil
+// members are dropped.
+func TeeTracers(ts ...Tracer) Tracer { return obs.NewTee(ts...) }
+
+// TraceStream is a file-backed TraceStreamer created by
+// CreateTraceStream; Close finalizes both the JSON document and the
+// file.
+type TraceStream struct {
+	*TraceStreamer
+	f io.Closer
+}
+
+// Close terminates the trace document and closes the underlying file,
+// returning the first error of the stream's lifetime.
+func (s *TraceStream) Close() error {
+	err := s.TraceStreamer.Close()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// CreateTraceStream creates path and returns a streaming tracer writing
+// Chrome trace JSON into it. Pass it to SimulateObserved (directly or
+// inside TeeTracers) and Close it when the run ends; Close errors mean
+// the artifact is incomplete and must be surfaced.
+func CreateTraceStream(path string, names []string) (*TraceStream, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceStream{TraceStreamer: obs.NewStreamTracer(f, names), f: f}, nil
+}
+
+// DiffTrace compares two aggregated runs layer by layer: the
+// before/after pruning story (latency, energy, preserves,
+// re-executions per layer, absolute and percent). Layers present in
+// only one run diff against zero; percent changes against a zero
+// baseline are marked invalid rather than divided.
+func DiffTrace(before, after *RunStats) *TraceDiff { return obs.DiffRunStats(before, after) }
+
+// ReadTraceCSV parses a CSV written by WriteTraceCSV back into run
+// statistics plus the layer-name table, so exported runs can be diffed
+// without re-simulating.
+func ReadTraceCSV(r io.Reader) (*RunStats, []string, error) { return obs.ReadStatsCSV(r) }
+
+// WriteTraceDiffTable renders a cross-run diff as a terminal table.
+func WriteTraceDiffTable(w io.Writer, d *TraceDiff, names []string) error {
+	return obs.WriteDiffTable(w, d, names)
+}
+
+// WriteTraceDiffCSV renders a cross-run diff as long-form CSV (one row
+// per layer per metric).
+func WriteTraceDiffCSV(w io.Writer, d *TraceDiff, names []string) error {
+	return obs.WriteDiffCSV(w, d, names)
+}
 
 // CollectTrace aggregates recorded events into per-layer and
 // per-power-cycle statistics.

@@ -1,7 +1,10 @@
 package iprune_test
 
 import (
+	"bytes"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"iprune"
@@ -120,6 +123,75 @@ func TestFacadeEngineMatchesSimCriterion(t *testing.T) {
 	}
 	if r.Stats.Jobs != st.AccOutputs {
 		t.Errorf("engine jobs %d != criterion %d", r.Stats.Jobs, st.AccOutputs)
+	}
+}
+
+// TestFacadeStreamMatchesRecordedTrace pins the streaming path end to
+// end over a real simulated run: a TraceStreamer teed with a recorder
+// must produce exactly the bytes WriteChromeTrace renders from the
+// recording afterwards.
+func TestFacadeStreamMatchesRecordedTrace(t *testing.T) {
+	net, err := iprune.BuildModel("HAR", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := iprune.PrunableLayerNames(net)
+	rec := iprune.NewTraceRecorder()
+	var streamed bytes.Buffer
+	st := iprune.NewTraceStreamer(&streamed, names)
+	iprune.SimulateObserved(net, iprune.StrongPower, 7, iprune.TeeTracers(st, rec))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events()) == 0 {
+		t.Fatal("simulation emitted no events")
+	}
+	var recorded bytes.Buffer
+	if err := iprune.WriteChromeTrace(&recorded, rec.Events(), names); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), recorded.Bytes()) {
+		t.Error("streamed trace diverges from the recorded render")
+	}
+
+	// File-backed variant plus the CSV diff round trip.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	fs, err := iprune.CreateTraceStream(path, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iprune.SimulateObserved(net, iprune.StrongPower, 7, fs)
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, recorded.Bytes()) {
+		t.Error("file-backed stream diverges from the recorded render")
+	}
+
+	stats := iprune.CollectTrace(rec.Events())
+	var csvBuf bytes.Buffer
+	if err := iprune.WriteTraceCSV(&csvBuf, stats, names); err != nil {
+		t.Fatal(err)
+	}
+	loaded, loadedNames, err := iprune.ReadTraceCSV(&csvBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := iprune.DiffTrace(stats, loaded)
+	if d.Total.Latency.Abs != 0 || d.Total.Energy.Abs != 0 || d.Total.Ops.Abs != 0 {
+		t.Errorf("CSV round-trip self-diff not zero: %+v", d.Total)
+	}
+	var table strings.Builder
+	if err := iprune.WriteTraceDiffTable(&table, d, loadedNames); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "total") {
+		t.Errorf("diff table missing total row:\n%s", table.String())
 	}
 }
 

@@ -26,6 +26,15 @@ go test -race ./...
 echo "== iprunelint"
 go run ./cmd/iprunelint -json ./...
 
+# Trace-pipeline smoke test: a quick-scale fig2 regeneration must leave
+# a parseable, non-empty Chrome trace artifact behind.
+echo "== repro trace smoke"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/repro -scale quick -artifacts "$tmp" -q fig2 > /dev/null
+test -s "$tmp/fig2/trace.json"
+go run scripts/jsoncheck.go "$tmp/fig2/trace.json"
+
 # Benchmark regression gate: when at least two BENCH_<date>.json
 # snapshots exist, diff the two most recent (lexical date sort) and fail
 # on hot-path regressions. One snapshot alone is just a baseline.

@@ -1,0 +1,38 @@
+//go:build ignore
+
+// jsoncheck validates a Chrome trace-event JSON artifact: the file must
+// parse as JSON and hold a non-empty traceEvents array. Used by
+// scripts/check.sh to smoke-test the repro trace pipeline:
+//
+//	go run scripts/jsoncheck.go artifacts/fig2/trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: jsoncheck TRACE.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jsoncheck:", err)
+		os.Exit(1)
+	}
+	var tr struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		fmt.Fprintf(os.Stderr, "jsoncheck: %s: not valid JSON: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	if len(tr.TraceEvents) == 0 {
+		fmt.Fprintf(os.Stderr, "jsoncheck: %s: traceEvents is empty\n", os.Args[1])
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d trace events\n", os.Args[1], len(tr.TraceEvents))
+}
