@@ -5,13 +5,20 @@
 //
 // Usage:
 //
-//	iprunelint [-list] [-json] [-dir DIR] [packages]
+//	iprunelint [-list] [-json] [-cache] [-cachedir DIR] [-dir DIR] [packages]
 //
 // Packages default to ./... relative to the module root, which is found
 // by walking up from -dir (default: the working directory). The
 // analyzers and the directives steering them are documented in
 // internal/analysis and in the "Static analysis & invariants" section
 // of README.md.
+//
+// With -cache, diagnostics are cached per package under -cachedir
+// (default <module root>/.iprunelint.cache), keyed by the hashes of the
+// package's sources, its module-internal dependency closure and the
+// module's interface-implementation closure; a warm run re-analyzes
+// only packages whose inputs changed and prints an accounting line
+// ("iprunelint: cache: N reused, M analyzed") to stderr.
 //
 // With -json, findings are emitted as a JSON array of
 // {file,line,col,analyzer,message} objects (file paths module-root
@@ -54,6 +61,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list analyzers and exit")
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
 	dir := fs.String("dir", "", "directory to resolve the module root from (default: working directory)")
+	useCache := fs.Bool("cache", false, "reuse cached diagnostics for packages whose inputs are unchanged")
+	cacheDir := fs.String("cachedir", "", "cache directory (default: <module root>/.iprunelint.cache)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -92,7 +101,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags := analysis.Run(analysis.All(), pkgs, loader.Directives())
+	var diags []analysis.Diagnostic
+	if *useCache {
+		cdir := *cacheDir
+		if cdir == "" {
+			cdir = filepath.Join(root, ".iprunelint.cache")
+		}
+		c := &analysis.Cache{Dir: cdir, Root: root}
+		diags = analysis.RunCached(analysis.All(), pkgs, loader.Directives(), c, loader.Packages())
+		c.Stats.Summary(stderr)
+	} else {
+		diags = analysis.Run(analysis.All(), pkgs, loader.Directives())
+	}
 	diags = append(diags, loader.Directives().Problems...)
 	analysis.Sort(diags)
 	for i, d := range diags {

@@ -119,12 +119,40 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+func TestCacheFlag(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/fixed/fixed.go": "package fixed\n\nfunc Scale(x float64) float64 { return x * 1.5 }\n",
+		"internal/nn/nn.go":       "package nn\n\nfunc Fine(x int) int { return x }\n",
+	})
+	code, cold, coldErr := runLint(t, dir, "-cache", "-json", "./...")
+	if code != 1 {
+		t.Fatalf("cold cached run: exit %d, want 1\nstderr: %s", code, coldErr)
+	}
+	if !strings.Contains(coldErr, "cache: 0 reused, 2 analyzed") {
+		t.Errorf("cold run stderr missing cache accounting: %s", coldErr)
+	}
+	code, warm, warmErr := runLint(t, dir, "-cache", "-json", "./...")
+	if code != 1 {
+		t.Fatalf("warm cached run: exit %d, want 1\nstderr: %s", code, warmErr)
+	}
+	if !strings.Contains(warmErr, "cache: 2 reused, 0 analyzed") {
+		t.Errorf("warm run re-analyzed packages: %s", warmErr)
+	}
+	// The whole point: a warm run's findings are byte-identical.
+	if warm != cold {
+		t.Errorf("warm -json output differs from cold:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".iprunelint.cache")); err != nil {
+		t.Errorf("default cache directory not created: %v", err)
+	}
+}
+
 func TestListAnalyzers(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list: exit %d", code)
 	}
-	for _, name := range []string{"floatpurity", "warhazard", "floatflow", "allocflow", "errcheck"} {
+	for _, name := range []string{"floatpurity", "warhazard", "parsafe", "floatflow", "allocflow", "errcheck"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list missing %s:\n%s", name, stdout.String())
 		}

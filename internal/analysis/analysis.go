@@ -141,19 +141,21 @@ type ModulePass struct {
 	allow  string
 	name   string
 	scope  func(string) bool
+	only   map[*Package]bool // when non-nil, keep reports only for these packages
 	passes map[*Package]*Pass
 }
 
 // Pass returns the reporting pass for one of the module's packages.
-// When the analyzer's Scope excludes the package, reports through the
-// returned pass are dropped (summaries over out-of-scope packages still
-// feed in-scope findings).
+// When the analyzer's Scope excludes the package — or a cache-driven
+// run restricts reporting to the re-analyzed packages (only) — reports
+// through the returned pass are dropped (summaries over excluded
+// packages still feed included findings).
 func (mp *ModulePass) Pass(pkg *Package) *Pass {
 	if p, ok := mp.passes[pkg]; ok {
 		return p
 	}
 	diags := mp.diags
-	if mp.scope != nil && !mp.scope(pkg.Path) {
+	if (mp.scope != nil && !mp.scope(pkg.Path)) || (mp.only != nil && !mp.only[pkg]) {
 		diags = &[]Diagnostic{} // discard
 	}
 	p := &Pass{
@@ -266,8 +268,9 @@ func Sort(diags []Diagnostic) {
 }
 
 // All returns the project analyzers in their canonical order: the four
-// per-package syntactic checks, the CFG/dataflow WAR-hazard pass, and
-// the two interprocedural call-graph passes.
+// per-package syntactic checks, the CFG/dataflow WAR-hazard and
+// concurrency-safety passes, and the two interprocedural call-graph
+// passes.
 func All() []*Analyzer {
-	return []*Analyzer{FloatPurity, NVMDiscipline, HotAlloc, ErrCheck, WARHazard, FloatFlow, AllocFlow}
+	return []*Analyzer{FloatPurity, NVMDiscipline, HotAlloc, ErrCheck, WARHazard, Parsafe, FloatFlow, AllocFlow}
 }

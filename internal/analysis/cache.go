@@ -1,0 +1,368 @@
+//iprune:allow-err hash writes cannot fail, and cache persistence is best-effort by design: any I/O failure degrades to a miss, never to wrong results
+
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The summaries cache makes repeated iprunelint runs incremental: each
+// analyzed package's diagnostics are stored under a key derived from
+// everything that can influence them, and a later run whose key matches
+// serves the stored findings without re-analyzing the package.
+//
+// The key covers, per package:
+//
+//   - a schema version and the analyzer set (so upgrading either
+//     invalidates everything);
+//   - the package's own source file hashes;
+//   - the file hashes of its transitive module-internal dependencies
+//     (interprocedural findings flow from callee bodies the package
+//     imports);
+//   - an implementation-closure hash: the file hashes of every package
+//     declaring a concrete type that implements a module-defined
+//     interface. Devirtualized call edges cross the import graph — a
+//     hot loop in package B calling through an interface from package A
+//     can reach an implementation body in package C that B never
+//     imports — so those bodies must key B's entry even without an
+//     import edge.
+//
+// Directive problems (unknown names, missing reasons) are NOT cached:
+// the loader recomputes them on every run, so they stay exact for free.
+//
+// Cache misses run the per-package analyzers on the missed packages
+// only; module-level analyzers still run over every package (their
+// summaries must cover the whole call graph) but report only into
+// missed packages — hit packages' findings come from the cache.
+
+// cacheSchema versions the entry format and key derivation; bump it
+// when either changes.
+const cacheSchema = "iprunelint-cache-v1"
+
+// Cache is an on-disk diagnostics cache keyed by content hashes.
+type Cache struct {
+	// Dir is the cache directory; it is created on first store.
+	Dir string
+	// Root is the module root; diagnostic positions are stored
+	// root-relative so the cache survives a checkout moving.
+	Root string
+	// Stats accumulates hit/miss accounting for the run.
+	Stats CacheStats
+
+	fileHashes map[*Package]string
+}
+
+// CacheStats reports what a RunCached call did.
+type CacheStats struct {
+	Hits   int
+	Misses int
+	// Reanalyzed lists the import paths that missed, in input order.
+	Reanalyzed []string
+}
+
+// cacheEntry is the stored form: the full key (verified on load, so a
+// hash collision in the file name scheme cannot serve stale results)
+// and the package's diagnostics with root-relative filenames.
+type cacheEntry struct {
+	Key   string       `json:"key"`
+	Diags []Diagnostic `json:"diags"`
+}
+
+// RunCached is Run with a diagnostics cache. pkgs are the target
+// packages; all must contain every loaded package including
+// dependencies of the targets (for dependency hashing — see
+// Loader.Packages). A nil cache degrades to plain Run.
+func RunCached(analyzers []*Analyzer, pkgs []*Package, dirs *Directives, c *Cache, all []*Package) []Diagnostic {
+	if c == nil {
+		return Run(analyzers, pkgs, dirs)
+	}
+	clean := make([]*Package, 0, len(pkgs))
+	for _, pkg := range pkgs {
+		if len(pkg.Errs) == 0 {
+			clean = append(clean, pkg)
+		}
+	}
+	keys := c.keys(analyzers, clean, all)
+
+	var diags []Diagnostic
+	missed := map[*Package]bool{}
+	var missedList []*Package
+	for _, pkg := range clean {
+		if cached, ok := c.load(pkg, keys[pkg]); ok {
+			c.Stats.Hits++
+			diags = append(diags, cached...)
+			continue
+		}
+		c.Stats.Misses++
+		c.Stats.Reanalyzed = append(c.Stats.Reanalyzed, pkg.Path)
+		missed[pkg] = true
+		missedList = append(missedList, pkg)
+	}
+
+	if len(missedList) > 0 {
+		perPkg := map[*Package][]Diagnostic{}
+		for _, pkg := range missedList {
+			for _, a := range analyzers {
+				if a.Run == nil {
+					continue
+				}
+				if a.Scope != nil && !a.Scope(pkg.Path) {
+					continue
+				}
+				perPkg[pkg] = append(perPkg[pkg], runPkg(a, pkg, dirs)...)
+			}
+		}
+		var modDiags []Diagnostic
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			mp := &ModulePass{
+				Pkgs:   clean,
+				Dirs:   dirs,
+				diags:  &modDiags,
+				allow:  a.Allow,
+				name:   a.Name,
+				scope:  a.Scope,
+				only:   missed,
+				passes: map[*Package]*Pass{},
+			}
+			a.RunModule(mp)
+		}
+		byDir := map[string]*Package{}
+		for _, pkg := range missedList {
+			byDir[pkg.Dir] = pkg
+		}
+		for _, d := range modDiags {
+			if pkg := byDir[filepath.Dir(d.Pos.Filename)]; pkg != nil {
+				perPkg[pkg] = append(perPkg[pkg], d)
+			}
+		}
+		for _, pkg := range missedList {
+			Sort(perPkg[pkg])
+			c.store(pkg, keys[pkg], perPkg[pkg])
+			diags = append(diags, perPkg[pkg]...)
+		}
+	}
+	Sort(diags)
+	return diags
+}
+
+// keys derives the cache key of every clean target package.
+func (c *Cache) keys(analyzers []*Analyzer, clean, all []*Package) map[*Package]string {
+	c.fileHashes = map[*Package]string{}
+	byPath := make(map[string]*Package, len(all))
+	for _, p := range all {
+		byPath[p.Path] = p
+	}
+	var names []string
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	impl := c.implClosureHash(clean)
+
+	keys := make(map[*Package]string, len(clean))
+	for _, pkg := range clean {
+		h := sha256.New()
+		fmt.Fprintln(h, cacheSchema)
+		fmt.Fprintln(h, strings.Join(names, ","))
+		fmt.Fprintln(h, impl)
+		for _, dep := range c.depClosure(pkg, byPath) {
+			fmt.Fprintf(h, "%s %s\n", dep.Path, c.filesHash(dep))
+		}
+		keys[pkg] = hex.EncodeToString(h.Sum(nil))
+	}
+	return keys
+}
+
+// depClosure returns pkg plus its transitive module-internal
+// dependencies that the loader has loaded, sorted by import path.
+func (c *Cache) depClosure(pkg *Package, byPath map[string]*Package) []*Package {
+	seen := map[*Package]bool{pkg: true}
+	queue := []*Package{pkg}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if p.Types == nil {
+			continue
+		}
+		for _, imp := range p.Types.Imports() {
+			dep, ok := byPath[imp.Path()]
+			if !ok || seen[dep] {
+				continue
+			}
+			seen[dep] = true
+			queue = append(queue, dep)
+		}
+	}
+	out := make([]*Package, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// filesHash hashes a package's source files (names and contents),
+// memoized per run. A file that cannot be read poisons the hash with
+// the error text, which simply forces a miss.
+func (c *Cache) filesHash(pkg *Package) string {
+	if h, ok := c.fileHashes[pkg]; ok {
+		return h
+	}
+	var files []string
+	for _, f := range pkg.Files {
+		files = append(files, pkg.Fset.Position(f.Pos()).Filename)
+	}
+	sort.Strings(files)
+	h := sha256.New()
+	for _, name := range files {
+		fmt.Fprintf(h, "%s\n", filepath.Base(name))
+		data, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintf(h, "unreadable: %v\n", err)
+			continue
+		}
+		h.Write(data)
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	c.fileHashes[pkg] = sum
+	return sum
+}
+
+// implClosureHash hashes the packages whose bodies devirtualized calls
+// can reach from anywhere in the module: those declaring a concrete
+// named type implementing a module-defined named interface. The result
+// keys every package, so editing an implementation invalidates callers
+// that reach it only through an interface.
+func (c *Cache) implClosureHash(clean []*Package) string {
+	var ifaces []*types.Interface
+	for _, pkg := range clean {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if it, ok := tn.Type().Underlying().(*types.Interface); ok && it.NumMethods() > 0 {
+				ifaces = append(ifaces, it)
+			}
+		}
+	}
+	h := sha256.New()
+	if len(ifaces) == 0 {
+		return hex.EncodeToString(h.Sum(nil))
+	}
+	for _, pkg := range clean {
+		if pkg.Types == nil {
+			continue
+		}
+		if !declaresImpl(pkg, ifaces) {
+			continue
+		}
+		fmt.Fprintf(h, "%s %s\n", pkg.Path, c.filesHash(pkg))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// declaresImpl reports whether pkg declares a non-interface named type
+// implementing any of the interfaces.
+func declaresImpl(pkg *Package, ifaces []*types.Interface) bool {
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if _, isIface := t.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		for _, it := range ifaces {
+			if types.Implements(t, it) || types.Implements(types.NewPointer(t), it) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// entryPath maps an import path to its cache file.
+func (c *Cache) entryPath(pkg *Package) string {
+	return filepath.Join(c.Dir, strings.ReplaceAll(pkg.Path, "/", "__")+".json")
+}
+
+// load returns the cached diagnostics when the stored key matches.
+// Every failure mode — missing file, corrupt JSON, stale key — is just
+// a miss.
+func (c *Cache) load(pkg *Package, key string) ([]Diagnostic, bool) {
+	if key == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.entryPath(pkg))
+	if err != nil {
+		return nil, false
+	}
+	var entry cacheEntry
+	if err := json.Unmarshal(data, &entry); err != nil || entry.Key != key {
+		return nil, false
+	}
+	for i, d := range entry.Diags {
+		if !filepath.IsAbs(d.Pos.Filename) {
+			entry.Diags[i].Pos.Filename = filepath.Join(c.Root, filepath.FromSlash(d.Pos.Filename))
+		}
+	}
+	return entry.Diags, true
+}
+
+// store writes one package's diagnostics atomically (temp file +
+// rename); errors degrade to not caching.
+func (c *Cache) store(pkg *Package, key string, diags []Diagnostic) {
+	if key == "" {
+		return
+	}
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return
+	}
+	entry := cacheEntry{Key: key, Diags: make([]Diagnostic, len(diags))}
+	copy(entry.Diags, diags)
+	for i, d := range entry.Diags {
+		if rel, err := filepath.Rel(c.Root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			entry.Diags[i].Pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+	data, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.Dir, ".entry-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.entryPath(pkg)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// Summary is the one-line human accounting for stderr.
+func (s CacheStats) Summary(w io.Writer) {
+	fmt.Fprintf(w, "iprunelint: cache: %d reused, %d analyzed\n", s.Hits, s.Misses)
+}

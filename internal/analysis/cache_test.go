@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// cacheModule is a three-package module with a stable finding in each
+// leaf: kernel (floatpurity finding) imports helper (clean), and other
+// (hotalloc finding) stands alone. No interfaces, so the
+// implementation-closure hash stays constant across edits.
+func cacheModule(t *testing.T) string {
+	t.Helper()
+	return writeModule(t, "iprune", map[string]string{
+		"internal/fixed/helper.go": "package fixed\n\nfunc Clamp(x int16) int16 { return x }\n",
+		"internal/tile/kernel.go": "package tile\n\nimport \"iprune/internal/fixed\"\n\n" +
+			"func Scale(x float64) float64 { return x * 1.5 }\n\n" +
+			"func Use(x int16) int16 { return fixed.Clamp(x) }\n",
+		"internal/nn/other.go": "package nn\n\n//iprune:hotpath\nfunc Hot(xs []int) []int {\n" +
+			"\tfor range xs {\n\t\txs = append(xs, 1)\n\t}\n\treturn xs\n}\n",
+	})
+}
+
+func runCachedOnce(t *testing.T, dir string, c *Cache) []Diagnostic {
+	t.Helper()
+	l, pkgs := loadModule(t, dir, "./...")
+	return RunCached(All(), pkgs, l.Directives(), c, l.Packages())
+}
+
+func TestCacheColdWarmIdentical(t *testing.T) {
+	dir := cacheModule(t)
+	cdir := filepath.Join(dir, ".cache")
+
+	cold := &Cache{Dir: cdir, Root: dir}
+	coldDiags := runCachedOnce(t, dir, cold)
+	if len(coldDiags) == 0 {
+		t.Fatal("cold run found nothing; the module should have findings")
+	}
+	if cold.Stats.Hits != 0 || cold.Stats.Misses == 0 {
+		t.Fatalf("cold run stats = %+v, want all misses", cold.Stats)
+	}
+
+	warm := &Cache{Dir: cdir, Root: dir}
+	warmDiags := runCachedOnce(t, dir, warm)
+	if warm.Stats.Misses != 0 {
+		t.Fatalf("warm run re-analyzed %v, want none", warm.Stats.Reanalyzed)
+	}
+	if warm.Stats.Hits == 0 {
+		t.Fatal("warm run had no hits")
+	}
+	if !reflect.DeepEqual(coldDiags, warmDiags) {
+		t.Fatalf("warm diagnostics differ from cold:\ncold: %v\nwarm: %v", coldDiags, warmDiags)
+	}
+}
+
+func TestCacheUncachedEquivalence(t *testing.T) {
+	// RunCached must produce exactly what Run produces, cold and warm.
+	dir := cacheModule(t)
+	l, pkgs := loadModule(t, dir, "./...")
+	plain := Run(All(), pkgs, l.Directives())
+
+	c := &Cache{Dir: filepath.Join(dir, ".cache"), Root: dir}
+	if cached := runCachedOnce(t, dir, c); !reflect.DeepEqual(plain, cached) {
+		t.Fatalf("cold cached run differs from Run:\nplain: %v\ncached: %v", plain, cached)
+	}
+	c2 := &Cache{Dir: c.Dir, Root: dir}
+	if cached := runCachedOnce(t, dir, c2); !reflect.DeepEqual(plain, cached) {
+		t.Fatalf("warm cached run differs from Run:\nplain: %v\ncached: %v", plain, cached)
+	}
+}
+
+func TestCacheInvalidation(t *testing.T) {
+	dir := cacheModule(t)
+	cdir := filepath.Join(dir, ".cache")
+	runCachedOnce(t, dir, &Cache{Dir: cdir, Root: dir})
+
+	// Editing a leaf package re-analyzes only that package.
+	leaf := filepath.Join(dir, "internal/nn/other.go")
+	appendLine(t, leaf, "\nfunc Extra() int { return 1 }\n")
+	c := &Cache{Dir: cdir, Root: dir}
+	runCachedOnce(t, dir, c)
+	if want := []string{"iprune/internal/nn"}; !reflect.DeepEqual(c.Stats.Reanalyzed, want) {
+		t.Fatalf("leaf edit re-analyzed %v, want %v", c.Stats.Reanalyzed, want)
+	}
+
+	// Editing a dependency re-analyzes it and its importers, but not
+	// the unrelated package.
+	depFile := filepath.Join(dir, "internal/fixed/helper.go")
+	appendLine(t, depFile, "\nfunc Zero() int16 { return 0 }\n")
+	c = &Cache{Dir: cdir, Root: dir}
+	runCachedOnce(t, dir, c)
+	want := []string{"iprune/internal/fixed", "iprune/internal/tile"}
+	if !reflect.DeepEqual(c.Stats.Reanalyzed, want) {
+		t.Fatalf("dependency edit re-analyzed %v, want %v", c.Stats.Reanalyzed, want)
+	}
+}
+
+func TestCacheInterproceduralInvalidation(t *testing.T) {
+	// A dependency body change that creates a finding in its importer
+	// must surface on the warm run: the importer's key covers the
+	// dependency's files.
+	dir := writeModule(t, "iprune", map[string]string{
+		"internal/fixed/helper.go": "package fixed\n\nfunc Grow(xs []int) []int { return xs }\n",
+		"internal/tile/kernel.go": "package tile\n\nimport \"iprune/internal/fixed\"\n\n" +
+			"//iprune:hotpath\nfunc Hot(xs []int) []int {\n" +
+			"\tfor range xs {\n\t\txs = fixed.Grow(xs)\n\t}\n\treturn xs\n}\n",
+	})
+	cdir := filepath.Join(dir, ".cache")
+	if diags := runCachedOnce(t, dir, &Cache{Dir: cdir, Root: dir}); len(diags) != 0 {
+		t.Fatalf("clean module reported %v", diags)
+	}
+
+	// Grow now allocates: the hot loop in tile must light up.
+	helper := filepath.Join(dir, "internal/fixed/helper.go")
+	if err := os.WriteFile(helper,
+		[]byte("package fixed\n\nfunc Grow(xs []int) []int { return append(xs, 0) }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := &Cache{Dir: cdir, Root: dir}
+	diags := runCachedOnce(t, dir, c)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "an allocation") {
+		t.Fatalf("allocating dependency not detected through the cache: %v", diags)
+	}
+	if c.Stats.Hits != 0 {
+		t.Fatalf("stale entries served after dependency edit: %+v", c.Stats)
+	}
+}
+
+func appendLine(t *testing.T, path, text string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, []byte(text)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 //	//iprune:allow-alloc <reason>  suppress hotalloc/allocflow findings
 //	//iprune:allow-err <reason>    suppress errcheck findings
 //	//iprune:allow-war <reason>    suppress warhazard findings
+//	//iprune:allow-par <reason>    suppress parsafe findings
 //	//iprune:hotpath               mark a function as a hot inner kernel
 //	//iprune:nvm                   mark a type or field as FRAM-backed
 //	//iprune:nvm-api               mark a function as discipline API
@@ -48,6 +49,7 @@ var knownDirectives = map[string]bool{
 	"allow-alloc": true,
 	"allow-err":   true,
 	"allow-war":   true,
+	"allow-par":   true,
 	"hotpath":     false,
 	"nvm":         false,
 	"nvm-api":     false,
@@ -137,7 +139,7 @@ func (d *Directives) Collect(pkg *Package) {
 					d.Problems = append(d.Problems, Diagnostic{
 						Pos:      dir.Pos,
 						Analyzer: "directives",
-						Message:  "unknown directive //iprune:" + dir.Name,
+						Message:  unknownDirectiveMessage(dir.Name),
 					})
 					continue
 				case needsReason && dir.Reason == "":
@@ -208,4 +210,50 @@ func (d *Directives) collectDecls(pkg *Package, f *ast.File, fset *token.FileSet
 func knownDirectiveWellFormed(dir Directive) bool {
 	needsReason, known := knownDirectives[dir.Name]
 	return known && (!needsReason || dir.Reason != "")
+}
+
+// unknownDirectiveMessage formats the finding for an unrecognized
+// directive name, suggesting the nearest known name when one is close
+// enough to be a plausible typo.
+func unknownDirectiveMessage(name string) string {
+	msg := "unknown directive //iprune:" + name
+	if near := nearestDirective(name); near != "" {
+		msg += " (did you mean //iprune:" + near + "?)"
+	}
+	return msg
+}
+
+// nearestDirective returns the known directive name within Levenshtein
+// distance 2 of name, or "" when none qualifies. Ties break
+// lexicographically so the suggestion is deterministic.
+func nearestDirective(name string) string {
+	best, bestDist := "", 3
+	for known := range knownDirectives {
+		d := editDistance(name, known)
+		if d < bestDist || (d == bestDist && best != "" && known < best) {
+			best, bestDist = known, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }

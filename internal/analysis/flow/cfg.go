@@ -20,11 +20,24 @@ import (
 // Block is one basic block: a maximal run of nodes executed without
 // branching. Nodes holds simple statements and branch/loop condition
 // expressions in evaluation order; Succs are the control-flow
-// successors.
+// successors. Branch, when non-nil, labels the conditional exit of the
+// block so path-sensitive analyses can refine facts per edge.
 type Block struct {
-	Index int
-	Nodes []ast.Node
-	Succs []*Block
+	Index  int
+	Nodes  []ast.Node
+	Succs  []*Block
+	Branch *Branch
+}
+
+// Branch labels a block's two-way conditional exit: control reaches
+// True when Cond evaluates to true and False otherwise. Only if
+// statements and for-loop condition heads produce branches; multi-way
+// dispatch (switch, select, range termination) carries no label and
+// stays path-insensitive.
+type Branch struct {
+	Cond  ast.Expr
+	True  *Block
+	False *Block
 }
 
 // Graph is the control-flow graph of one function body. Entry is the
@@ -165,11 +178,13 @@ func (b *builder) ifStmt(s *ast.IfStmt) {
 	if s.Else != nil {
 		els := b.newBlock()
 		b.edge(cond, els)
+		cond.Branch = &Branch{Cond: s.Cond, True: then, False: els}
 		b.cur = els
 		b.stmt(s.Else)
 		b.edge(b.cur, after)
 	} else {
 		b.edge(cond, after)
+		cond.Branch = &Branch{Cond: s.Cond, True: then, False: after}
 	}
 	b.cur = after
 }
@@ -187,6 +202,7 @@ func (b *builder) forStmt(s *ast.ForStmt, li *labelInfo) {
 	if s.Cond != nil {
 		b.add(s.Cond)
 		b.edge(head, after)
+		head.Branch = &Branch{Cond: s.Cond, True: body, False: after}
 	}
 	b.edge(head, body)
 

@@ -19,6 +19,25 @@ func Forward[S any](
 	join func(dst, src S) (S, bool),
 	transfer func(b *Block, in S) S,
 ) map[*Block]S {
+	return ForwardEdges(g, boundary, bottom, join, transfer, nil)
+}
+
+// ForwardEdges is Forward with edge-level refinement: before a block's
+// exit fact is joined into a successor, refine may rewrite it with
+// knowledge of the edge being taken — typically asserting the outcome
+// of the block's Branch condition — or declare the edge infeasible by
+// returning ok == false, in which case nothing propagates along it.
+// refine must not mutate out: the same exit fact is offered to every
+// successor, so a refinement must copy before specializing. A nil
+// refine makes ForwardEdges identical to Forward.
+func ForwardEdges[S any](
+	g *Graph,
+	boundary S,
+	bottom func() S,
+	join func(dst, src S) (S, bool),
+	transfer func(b *Block, in S) S,
+	refine func(from, to *Block, out S) (S, bool),
+) map[*Block]S {
 	in := make(map[*Block]S, len(g.Blocks))
 	for _, b := range g.Blocks {
 		in[b] = bottom()
@@ -40,7 +59,14 @@ func Forward[S any](
 		queued[b] = false
 		out := transfer(b, in[b])
 		for _, s := range b.Succs {
-			merged, changed := join(in[s], out)
+			src := out
+			if refine != nil {
+				var ok bool
+				if src, ok = refine(b, s, out); !ok {
+					continue // infeasible edge: propagate nothing
+				}
+			}
+			merged, changed := join(in[s], src)
 			in[s] = merged
 			if changed {
 				push(s)

@@ -128,14 +128,24 @@ func TestNVMDisciplineFixture(t *testing.T) { runFixture(t, NVMDiscipline, "nvmd
 func TestHotAllocFixture(t *testing.T)      { runFixture(t, HotAlloc, "hotalloc") }
 func TestErrCheckFixture(t *testing.T)      { runFixture(t, ErrCheck, "errcheck") }
 func TestWARHazardFixture(t *testing.T)     { runFixture(t, WARHazard, "warhazard") }
+func TestParsafeFixture(t *testing.T)       { runFixture(t, Parsafe, "parsafe") }
 func TestFloatFlowFixture(t *testing.T)     { runFixture(t, FloatFlow, "floatflow") }
 func TestAllocFlowFixture(t *testing.T)     { runFixture(t, AllocFlow, "allocflow") }
+
+// TestDirectivesFixture exercises the directive parser's own findings
+// (unknown names with did-you-mean suggestions) through the same
+// golden-want harness; Problems are not analyzer diagnostics, so the
+// fixture feeds them to the checker directly.
+func TestDirectivesFixture(t *testing.T) {
+	pkg, dirs := loadFixture(t, "directives")
+	checkExpectations(t, pkg, dirs.Problems)
+}
 
 // TestFixturesNonEmpty guards the harness itself: a fixture that loads
 // but declares nothing would vacuously pass.
 func TestFixturesNonEmpty(t *testing.T) {
 	for _, name := range []string{"floatpurity", "nvmdiscipline", "hotalloc", "errcheck",
-		"warhazard", "floatflow", "allocflow"} {
+		"warhazard", "parsafe", "floatflow", "allocflow", "directives"} {
 		pkg, _ := loadFixture(t, name)
 		if len(fixtureFuncNames(pkg)) == 0 {
 			t.Errorf("fixture %s declares no functions", name)

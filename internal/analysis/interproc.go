@@ -20,9 +20,22 @@ import (
 // module-internal functions does it statically call, and from inside a
 // loop or not), the summaries are closed under the call graph to a
 // fixpoint, and then every call edge leaving a hotpath function is
-// checked against the callee's closure. Interface-method calls have no
-// static callee and are skipped — the analysis is deliberately
-// under-approximate rather than noisy.
+// checked against the callee's closure.
+//
+// Interface-method calls are devirtualized by class-hierarchy analysis
+// restricted to interfaces *defined in this module*: the call fans out
+// to every module type implementing the interface (obs.Tracer-shaped
+// dispatch, including single-implementation interfaces), each edge
+// labeled with the interface method it came from. Interfaces with more
+// than devirtMaxImpls module implementations — wide plug-in surfaces
+// like nn.Layer — and stdlib interfaces (io.Writer) are skipped: there
+// the analysis stays deliberately under-approximate rather than noisy.
+//
+// A function carrying a func-level allow-float / allow-alloc blessing
+// is an audited boundary: its own sites are exempt *and* its callees'
+// sites do not propagate through it. Without that rule, devirtualizing
+// a blessed wrapper (obs.StepClock.Emit) would re-surface everything
+// behind it at every hot call site the blessing already vouched for.
 //
 // FloatFlow reports ANY call from a hotpath function to a float-reaching
 // callee, but only inside the fixed-point kernel packages (floatpurity's
@@ -51,9 +64,24 @@ var AllocFlow = &Analyzer{
 	RunModule: runAllocFlow,
 }
 
-// callEdge is one static call site inside a summarized function.
+// devirtMaxImpls caps the fan-out of one devirtualized interface call:
+// an interface with more module implementations than this is treated as
+// an open plug-in surface and its calls stay unresolved.
+const devirtMaxImpls = 6
+
+// callEdge is one call site inside a summarized function; via is the
+// interface method the edge was devirtualized from (nil for a static
+// call).
 type callEdge struct {
 	callee *types.Func
+	pos    token.Pos
+	inLoop bool
+	via    *types.Func
+}
+
+// ifaceCall is one interface-method call site awaiting devirtualization.
+type ifaceCall struct {
+	method *types.Func
 	pos    token.Pos
 	inLoop bool
 }
@@ -64,9 +92,12 @@ type funcSummary struct {
 	pkg  *Package
 	decl *ast.FuncDecl
 
-	selfFloat token.Pos // first unsuppressed float site, or NoPos
-	selfAlloc token.Pos // first unsuppressed allocation site, or NoPos
-	edges     []callEdge
+	selfFloat    token.Pos // first unsuppressed float site, or NoPos
+	selfAlloc    token.Pos // first unsuppressed allocation site, or NoPos
+	blessedFloat bool      // func-level allow-float: audited boundary
+	blessedAlloc bool      // func-level allow-alloc: audited boundary
+	edges        []callEdge
+	ifaceCalls   []ifaceCall
 
 	// Fixpoint results: the witness site and the call chain (excluding
 	// this function) leading to it. floatSite/allocSite == NoPos means
@@ -100,8 +131,89 @@ func summarize(mp *ModulePass) ([]*funcSummary, map[*types.Func]*funcSummary) {
 			}
 		}
 	}
+	devirtualize(mp, order, index)
 	propagate(order, index)
 	return order, index
+}
+
+// devirtualize resolves the recorded interface-method call sites into
+// concrete call edges via class-hierarchy analysis over the module's
+// own types (see the package comment for the scoping rules).
+func devirtualize(mp *ModulePass, order []*funcSummary, index map[*types.Func]*funcSummary) {
+	modulePkgs := make(map[*types.Package]bool, len(mp.Pkgs))
+	for _, pkg := range mp.Pkgs {
+		if pkg.Types != nil {
+			modulePkgs[pkg.Types] = true
+		}
+	}
+	memo := map[*types.Func][]*types.Func{}
+	resolve := func(m *types.Func) []*types.Func {
+		if impls, ok := memo[m]; ok {
+			return impls
+		}
+		memo[m] = nil
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return nil
+		}
+		named, _ := sig.Recv().Type().(*types.Named)
+		if named == nil || named.Obj().Pkg() == nil || !modulePkgs[named.Obj().Pkg()] {
+			return nil // anonymous or non-module interface: stay conservative
+		}
+		iface, ok := named.Underlying().(*types.Interface)
+		if !ok {
+			return nil
+		}
+		var impls []*types.Func
+		seen := map[*types.Func]bool{}
+		for _, pkg := range mp.Pkgs {
+			if pkg.Types == nil {
+				continue
+			}
+			scope := pkg.Types.Scope()
+			for _, name := range scope.Names() {
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok || tn.IsAlias() {
+					continue
+				}
+				T := tn.Type()
+				if types.IsInterface(T) {
+					continue
+				}
+				var recv types.Type
+				switch {
+				case types.Implements(T, iface):
+					recv = T
+				case types.Implements(types.NewPointer(T), iface):
+					recv = types.NewPointer(T)
+				default:
+					continue
+				}
+				obj, _, _ := types.LookupFieldOrMethod(recv, true, tn.Pkg(), m.Name())
+				fn, ok := obj.(*types.Func)
+				if !ok || seen[fn] {
+					continue
+				}
+				if _, hasBody := index[fn]; !hasBody {
+					continue // promoted from outside the module: no summary
+				}
+				seen[fn] = true
+				impls = append(impls, fn)
+			}
+		}
+		if len(impls) > devirtMaxImpls {
+			impls = nil // open plug-in surface: leave unresolved
+		}
+		memo[m] = impls
+		return impls
+	}
+	for _, s := range order {
+		for _, ic := range s.ifaceCalls {
+			for _, impl := range resolve(ic.method) {
+				s.edges = append(s.edges, callEdge{callee: impl, pos: ic.pos, inLoop: ic.inLoop, via: ic.method})
+			}
+		}
+	}
 }
 
 // build walks one function body collecting unsuppressed float and
@@ -112,8 +224,9 @@ func summarize(mp *ModulePass) ([]*funcSummary, map[*types.Func]*funcSummary) {
 func (s *funcSummary) build(dirs *Directives) {
 	pkg := s.pkg
 	info := pkg.Info
-	blessedFloat := dirs.ObjHas(s.fn, "allow-float")
-	blessedAlloc := dirs.ObjHas(s.fn, "allow-alloc")
+	s.blessedFloat = dirs.ObjHas(s.fn, "allow-float")
+	s.blessedAlloc = dirs.ObjHas(s.fn, "allow-alloc")
+	blessedFloat, blessedAlloc := s.blessedFloat, s.blessedAlloc
 	suppressed := func(pos token.Pos, allow string) bool {
 		p := pkg.Fset.Position(pos)
 		return dirs.FileHas(p.Filename, allow) ||
@@ -197,8 +310,12 @@ func (s *funcSummary) build(dirs *Directives) {
 						return true
 					}
 				}
-				if callee := staticCallee(info, node); callee != nil && !interfaceMethod(callee) {
-					s.edges = append(s.edges, callEdge{callee: callee, pos: node.Pos(), inLoop: depth > 0})
+				if callee := staticCallee(info, node); callee != nil {
+					if interfaceMethod(callee) {
+						s.ifaceCalls = append(s.ifaceCalls, ifaceCall{method: callee, pos: node.Pos(), inLoop: depth > 0})
+					} else {
+						s.edges = append(s.edges, callEdge{callee: callee, pos: node.Pos(), inLoop: depth > 0})
+					}
 				}
 			}
 			return true
@@ -220,8 +337,9 @@ func interfaceMethod(fn *types.Func) bool {
 
 // propagate closes the summaries under the call graph: a function
 // reaches a float/alloc site if its own body has one, or any summarized
-// callee reaches one. Iteration order is fixed so witness chains are
-// deterministic.
+// callee reaches one — except through a func-level allow-* blessing,
+// which marks an audited boundary that callers need not see past.
+// Iteration order is fixed so witness chains are deterministic.
 func propagate(order []*funcSummary, index map[*types.Func]*funcSummary) {
 	for _, s := range order {
 		s.floatSite, s.allocSite = s.selfFloat, s.selfAlloc
@@ -234,12 +352,12 @@ func propagate(order []*funcSummary, index map[*types.Func]*funcSummary) {
 				if !ok {
 					continue
 				}
-				if s.floatSite == token.NoPos && c.floatSite != token.NoPos {
+				if !s.blessedFloat && s.floatSite == token.NoPos && c.floatSite != token.NoPos {
 					s.floatSite = c.floatSite
 					s.floatPath = append([]*types.Func{c.fn}, c.floatPath...)
 					changed = true
 				}
-				if s.allocSite == token.NoPos && c.allocSite != token.NoPos {
+				if !s.blessedAlloc && s.allocSite == token.NoPos && c.allocSite != token.NoPos {
 					s.allocSite = c.allocSite
 					s.allocPath = append([]*types.Func{c.fn}, c.allocPath...)
 					changed = true
@@ -262,7 +380,7 @@ func runFloatFlow(mp *ModulePass) {
 				continue
 			}
 			pass.Reportf(e.pos, "fixed-point hot path calls %s, which %s float arithmetic at %s",
-				funcName(c.fn), reachVerb(c.floatPath), s.pkg.Fset.Position(c.floatSite))
+				edgeName(e, c), reachVerb(c.floatPath), s.pkg.Fset.Position(c.floatSite))
 		}
 	}
 }
@@ -283,9 +401,19 @@ func runAllocFlow(mp *ModulePass) {
 				continue
 			}
 			pass.Reportf(e.pos, "hot loop calls %s, which %s an allocation at %s",
-				funcName(c.fn), reachVerb(c.allocPath), s.pkg.Fset.Position(c.allocSite))
+				edgeName(e, c), reachVerb(c.allocPath), s.pkg.Fset.Position(c.allocSite))
 		}
 	}
+}
+
+// edgeName renders the callee of one edge, noting the interface method
+// a devirtualized edge came from.
+func edgeName(e callEdge, c *funcSummary) string {
+	name := funcName(c.fn)
+	if e.via != nil {
+		name += " (devirtualized from " + funcName(e.via) + ")"
+	}
+	return name
 }
 
 // reachVerb phrases how the callee reaches the witness site: directly,

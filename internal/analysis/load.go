@@ -86,6 +86,20 @@ func moduleName(gomod string) (string, error) {
 // Fset exposes the loader's file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// Packages returns every package the loader has loaded — targets and
+// their module-internal dependencies — sorted by import path. The
+// diagnostics cache uses it to hash a target's dependency closure.
+func (l *Loader) Packages() []*Package {
+	var out []*Package
+	for _, p := range l.pkgs {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // Directives exposes the directive index accumulated across every loaded
 // package (targets and their module-internal dependencies).
 func (l *Loader) Directives() *Directives { return l.dirs }

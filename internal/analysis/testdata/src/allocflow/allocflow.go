@@ -60,3 +60,31 @@ func suppressedSite(xs []int) int {
 	}
 	return s
 }
+
+// sink is a module-defined interface (obs.Tracer-shaped): calls through
+// it devirtualize to every module implementation.
+type sink interface {
+	put(int)
+}
+
+// recording allocates on emission.
+type recording struct {
+	buf []int
+}
+
+func (r *recording) put(v int) {
+	r.buf = append(r.buf, v)
+}
+
+// discarding is clean — its devirtualized edge produces no finding.
+type discarding struct{}
+
+func (discarding) put(int) {}
+
+//iprune:hotpath
+func devirtKernel(xs []int, s sink) {
+	for _, v := range xs {
+		s.put(v) // want `hot loop calls recording\.put \(devirtualized from sink\.put\), which performs an allocation`
+	}
+	s.put(0) // outside any loop: amortized
+}

@@ -1,0 +1,21 @@
+// Package fixture exercises the directive parser's malformed-directive
+// findings: an unknown //iprune: name is a problem, with a nearest
+// known name suggested when one is within a plausible typo distance.
+// The want comments ride inside the directive comments themselves —
+// for an unknown name the trailing text is irrelevant.
+package fixture
+
+//iprune:preseve commit primitive // want `unknown directive //iprune:preseve \(did you mean //iprune:preserve\?\)`
+func typoPreserve() {}
+
+//iprune:allow-floot audited conversion // want `unknown directive //iprune:allow-floot \(did you mean //iprune:allow-float\?\)`
+func typoAllowFloat() {}
+
+//iprune:hotpth // want `unknown directive //iprune:hotpth \(did you mean //iprune:hotpath\?\)`
+func typoHotpath() {}
+
+//iprune:frobnicate // want `unknown directive //iprune:frobnicate$`
+func farName() {}
+
+//iprune:hotpath
+func wellFormed() {}

@@ -43,3 +43,59 @@ func kernel(xs []int) int {
 func suppressedSite(x int) int {
 	return scale(x) //iprune:allow-float boundary conversion, audited at this call site
 }
+
+// scaler is a module-defined interface with a small implementation set:
+// calls through it devirtualize to every implementation, so the hot
+// path sees through the dispatch instead of going blind.
+type scaler interface{ apply(int) int }
+
+// floatScaler's method uses float arithmetic directly.
+type floatScaler struct{}
+
+func (floatScaler) apply(x int) int { return int(float64(x) * 1.5) }
+
+// intScaler is clean — its devirtualized edge produces no finding.
+type intScaler struct{}
+
+func (intScaler) apply(x int) int { return x * 2 }
+
+// deepScaler reaches float use further down the call graph; the witness
+// chain threads through the devirtualized edge.
+type deepScaler struct{}
+
+func (deepScaler) apply(x int) int { return viaScale(x) }
+
+//iprune:hotpath
+func devirtKernel(s scaler, xs []int) int {
+	t := 0
+	for _, v := range xs {
+		t += v
+	}
+	return s.apply(t) // want `calls floatScaler\.apply \(devirtualized from scaler\.apply\), which performs float arithmetic` `calls deepScaler\.apply \(devirtualized from scaler\.apply\), which reaches \(via viaScale -> scale\) float arithmetic`
+}
+
+// onlyScaler is single-implementation: the call resolves uniquely.
+type onlyScaler interface{ applyOnce(int) int }
+
+type loneScaler struct{}
+
+func (loneScaler) applyOnce(x int) int { return scale(x) }
+
+//iprune:hotpath
+func devirtSingle(s onlyScaler, x int) int {
+	return s.applyOnce(x) // want `calls loneScaler\.applyOnce \(devirtualized from onlyScaler\.applyOnce\), which reaches \(via scale\) float arithmetic`
+}
+
+// blessedScaler's implementation is an audited boundary: the func-level
+// blessing stops propagation through the devirtualized edge too.
+type blessedScaler interface{ applyBlessed(int) int }
+
+type auditedScaler struct{}
+
+//iprune:allow-float calibration boundary, conversion audited here
+func (auditedScaler) applyBlessed(x int) int { return scale(x) }
+
+//iprune:hotpath
+func devirtBlessed(s blessedScaler, x int) int {
+	return s.applyBlessed(x)
+}

@@ -1,0 +1,136 @@
+// Package fixture exercises the parsafe analyzer: goroutines must not
+// race NVM-backed state (synchronize before touching it), must not be
+// spawned inside //iprune:hotpath kernels, and function-local
+// sync.WaitGroup accounting must pair every Add with a reachable Wait
+// and a deferred Done.
+package fixture
+
+import "sync"
+
+//iprune:nvm
+type state struct {
+	counter int64
+	data    []int16
+}
+
+type engine struct {
+	nvm state
+	mu  sync.Mutex
+}
+
+// unsyncCapture races checkpointing: the closure touches NVM state with
+// no synchronization before the access.
+func (e *engine) unsyncCapture() {
+	go func() {
+		e.nvm.counter++ // want `goroutine captures NVM-backed state\.counter with no synchronization`
+	}()
+}
+
+// unsyncAlias reaches the NVM backing store through a derived local.
+func (e *engine) unsyncAlias() {
+	buf := e.nvm.data
+	go func() {
+		buf[0] = 1 // want `goroutine captures NVM-backed state\.data \(via buf\) with no synchronization`
+	}()
+}
+
+// mutexGuarded acquires the lock before the access: clean.
+func (e *engine) mutexGuarded() {
+	go func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		e.nvm.counter++
+	}()
+}
+
+// channelGuarded orders the access after a channel receive: clean.
+func (e *engine) channelGuarded(ready chan struct{}) {
+	go func() {
+		<-ready
+		e.nvm.counter++
+	}()
+}
+
+// suppressedCapture documents an audited handoff with allow-par.
+func (e *engine) suppressedCapture() {
+	go func() {
+		e.nvm.counter++ //iprune:allow-par spawner provably parked until this goroutine exits
+	}()
+}
+
+// hotSpawn launches a goroutine inside a hot kernel: the spawn cost is
+// outside the per-power-cycle energy envelope.
+//
+//iprune:hotpath
+func (e *engine) hotSpawn(done chan struct{}) {
+	go func() { // want `goroutine launched inside //iprune:hotpath function hotSpawn`
+		close(done)
+	}()
+}
+
+// addWithoutWait leaks the pending count: no Wait on any path.
+func addWithoutWait(work []int) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1) // want `sync\.WaitGroup wg: no Wait is reachable after this Add`
+		go func() {
+			defer wg.Done()
+		}()
+	}
+}
+
+// addWaitBalanced pairs every Add with the Wait after the loop and a
+// deferred Done in the goroutine: clean.
+func addWaitBalanced(work []int) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// deferredWait satisfies the Add through a deferred Wait at exit.
+func deferredWait(work []int) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+}
+
+// missingDone blocks the matching Wait forever.
+func missingDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine uses sync\.WaitGroup wg but never calls wg\.Done`
+		_ = wg
+	}()
+	wg.Wait()
+}
+
+// plainDone is skipped on panic or early return: it must be deferred.
+func plainDone(fail bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `wg\.Done is not deferred: a panic or early return in the goroutine skips it`
+		if fail {
+			return
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// escapedGroup hands the WaitGroup's address to code this function
+// cannot see — the discipline is the callee's problem, not flagged here.
+func escapedGroup(park func(*sync.WaitGroup)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	park(&wg)
+}

@@ -1,7 +1,11 @@
 // Package fixture exercises the warhazard analyzer: NVM-backed state
 // must not be written after being read within one preservation interval
 // (write-after-read breaks re-execution idempotence). Tracking is
-// field-granular: distinct elements of one slice field share a fact.
+// field-granular — distinct elements of one slice field share a fact —
+// refined by constant indices into array fields (partial[0] and
+// partial[1] are disjoint sub-locations) and by simple boolean guards
+// (a read under `if fresh` and a write under `if !fresh` lie on
+// disjoint paths).
 package fixture
 
 //iprune:nvm
@@ -105,9 +109,85 @@ func (e *engine) derived(i int) {
 	dst[i] = x + 1 // want `WAR hazard on NVM-backed state\.data`
 }
 
-// pingpong: field-granular tracking cannot see that reads and writes
-// target opposite parity buffers — the site is justified by design.
+// pingpong: constant parity indices address disjoint sub-buffers of one
+// array field, so the read and the write provably never overlap. This
+// used to need an //iprune:allow-war suppression; constant-index
+// refinement deleted it.
 func (e *engine) pingpong(i int) {
 	v := e.nvm.partial[0][i]
-	e.nvm.partial[1][i] = v //iprune:allow-war reads and writes target opposite parity buffers by construction
+	e.nvm.partial[1][i] = v
+}
+
+// pingpongAliased: the refinement survives alias bindings — the locals
+// carry the parity buffers' sub-location keys.
+func (e *engine) pingpongAliased(i int) {
+	src := e.nvm.partial[0]
+	dst := e.nvm.partial[1]
+	dst[i] = src[i] + 1
+}
+
+// samePartition: identical constant indices still collide.
+func (e *engine) samePartition(i int) {
+	v := e.nvm.partial[1][i]
+	e.nvm.partial[1][i] = v + 1 // want `WAR hazard on NVM-backed state\.partial\[1\]`
+}
+
+// dynamicParity: a non-constant index may address either sub-buffer, so
+// it joins with both and the analyzer stays conservative; the parity
+// arithmetic makes the accesses disjoint by construction.
+func (e *engine) dynamicParity(i, seen int) {
+	v := e.nvm.partial[(seen+1)%2][i]
+	e.nvm.partial[seen%2][i] = v //iprune:allow-war reads and writes target opposite parity buffers by construction
+}
+
+// guardedDisjoint: the read happens only when fresh, the write only
+// when not — path-sensitive guard tracking proves the paths disjoint
+// (previously a false positive needing //iprune:allow-war).
+func (e *engine) guardedDisjoint(fresh bool) int64 {
+	v := int64(0)
+	if fresh {
+		v = e.nvm.counter
+	}
+	if !fresh {
+		e.nvm.counter = 7
+	}
+	return v
+}
+
+// guardedFlag: the same correlation threaded through a local flag set
+// on the reading path.
+func (e *engine) guardedFlag(cond bool) int64 {
+	loaded := false
+	v := int64(0)
+	if cond {
+		v = e.nvm.counter
+		loaded = true
+	}
+	if !loaded {
+		e.nvm.counter = 1
+	}
+	return v
+}
+
+// guardedHazard: read and write share the fresh==true path — the guard
+// does not help, still a hazard.
+func (e *engine) guardedHazard(fresh bool) {
+	if fresh {
+		_ = e.nvm.counter
+	}
+	if fresh {
+		e.nvm.counter = 3 // want `WAR hazard on NVM-backed state\.counter`
+	}
+}
+
+// reassignedGuard: the flag is recomputed between the branches, so the
+// correlation is void and the analyzer stays conservative.
+func (e *engine) reassignedGuard(fresh bool) {
+	if fresh {
+		_ = e.nvm.counter
+	}
+	fresh = !fresh
+	if !fresh {
+		e.nvm.counter = 3 // want `WAR hazard on NVM-backed state\.counter`
+	}
 }

@@ -2,8 +2,10 @@ package analysis
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
+	"strconv"
 
 	"iprune/internal/analysis/flow"
 )
@@ -19,15 +21,30 @@ import (
 // rather than resumed.
 //
 // The analyzer builds a per-function CFG (internal/analysis/flow) and
-// runs a forward dataflow whose fact tracks, for each NVM location
-// (field of a //iprune:nvm type, //iprune:nvm field, or whole marked
-// value), whether its *first access since the last preservation point*
-// was a read. A write to a read-first location is a finding; a call to
-// a function marked //iprune:preserve ends the interval (the commit
-// makes everything before it durable, so re-execution restarts after
-// it). A location whose first access is a write is safe to rewrite —
+// runs a forward dataflow whose fact tracks, for each NVM location,
+// whether its *first access since the last preservation point* was a
+// read. A write to a read-first location is a finding; a call to a
+// function marked //iprune:preserve ends the interval (the commit makes
+// everything before it durable, so re-execution restarts after it). A
+// location whose first access is a write is safe to rewrite —
 // deterministic re-execution just repeats the store — which is exactly
 // Alpaca's WAR criterion.
+//
+// Precision features beyond the plain lattice:
+//
+//   - Constant-index sub-locations: an NVM array field indexed by a
+//     constant (partial[0] vs partial[1]) splits into disjoint
+//     locations, so the ping-pong parity pattern — read one buffer,
+//     write the other — is proved safe instead of suppressed. A
+//     non-constant index falls back to the whole location and joins
+//     conservatively with every sub-location.
+//
+//   - Path-sensitive boolean guards: the dataflow state is a bounded
+//     disjunction of per-path facts, each carrying the known values of
+//     simple boolean guard locals (`if committed { … }`). Branch edges
+//     assert the guard's outcome and drop contradicting states, so a
+//     read under `if fresh` and a write under `if !fresh` are seen to
+//     lie on disjoint paths.
 //
 // Local variables derived from NVM state (`dst := e.nvm.buf[i]`) are
 // tracked flow-insensitively: a write through such an alias is a write
@@ -53,11 +70,40 @@ func runWARHazard(pass *Pass) {
 			if pass.FuncHas(fd, "preserve") {
 				continue // the commit primitive itself
 			}
-			wf := &warFunc{pass: pass, derived: map[types.Object]types.Object{}, display: map[types.Object]string{}}
+			wf := &warFunc{
+				pass:     pass,
+				derived:  map[types.Object]warKey{},
+				display:  map[warKey]string{},
+				guards:   map[types.Object]bool{},
+				reported: map[token.Pos]bool{},
+			}
 			wf.collectDerived(fd.Body)
+			wf.collectGuards(fd.Body)
 			wf.analyze(fd.Body)
 		}
 	}
+}
+
+// wholeLoc is the index of an unrefined NVM location: the whole value,
+// or an element selected by a non-constant index.
+const wholeLoc = -1
+
+// maxPathStates bounds the disjunction width of the path-sensitive
+// state; beyond it, incoming states merge into the first state with
+// their guard environments intersected (sound, less precise).
+const maxPathStates = 8
+
+// warKey identifies one NVM location: the field or type object plus a
+// constant-index refinement for array-typed fields (idx == wholeLoc
+// when the whole location is meant).
+type warKey struct {
+	obj types.Object
+	idx int
+}
+
+// overlaps reports whether two keys may denote overlapping storage.
+func (k warKey) overlaps(o warKey) bool {
+	return k.obj == o.obj && (k.idx == wholeLoc || o.idx == wholeLoc || k.idx == o.idx)
 }
 
 // warAccess is the per-location dataflow fact: was the first access in
@@ -67,15 +113,44 @@ type warAccess struct {
 	pos       token.Pos // position of the first read, for the diagnostic
 }
 
-// warFact maps an NVM location (the field or type object identifying
-// it) to its first-access state. Absent means untouched this interval.
-type warFact map[types.Object]warAccess
+// warFact maps an NVM location to its first-access state. Absent means
+// untouched this interval.
+type warFact map[warKey]warAccess
+
+// pathFact is the dataflow fact along one boolean-guard valuation: the
+// guard locals whose value is known on this path, and the per-location
+// first-access state under that assumption.
+type pathFact struct {
+	env map[types.Object]bool
+	acc warFact
+}
+
+func (p *pathFact) clone() *pathFact {
+	cp := &pathFact{
+		env: make(map[types.Object]bool, len(p.env)),
+		acc: make(warFact, len(p.acc)),
+	}
+	for k, v := range p.env {
+		cp.env[k] = v
+	}
+	for k, v := range p.acc {
+		cp.acc[k] = v
+	}
+	return cp
+}
+
+// warState is the disjunctive dataflow state: one pathFact per
+// distinguishable guard valuation, bounded by maxPathStates. nil is the
+// solver's bottom (block not yet reached on any path).
+type warState []*pathFact
 
 // warFunc analyzes one function body.
 type warFunc struct {
-	pass    *Pass
-	derived map[types.Object]types.Object // local var -> NVM location it aliases
-	display map[types.Object]string       // location -> human name
+	pass     *Pass
+	derived  map[types.Object]warKey // local var -> NVM location it aliases
+	display  map[warKey]string       // location -> human name
+	guards   map[types.Object]bool   // boolean locals trackable as path guards
+	reported map[token.Pos]bool      // write sites already diagnosed (dedupe across path states)
 }
 
 // collectDerived finds locals that alias NVM state: simple assignments
@@ -141,84 +216,259 @@ func (w *warFunc) collectDerived(body *ast.BlockStmt) {
 	}
 }
 
-// analyze runs the dataflow over the function body and then replays each
-// block against its fixed entry fact to emit diagnostics exactly once.
+// collectGuards finds the boolean locals usable as path guards: plain
+// identifiers appearing as (possibly negated) if/for conditions whose
+// value assignments the analysis can observe. A guard whose address is
+// taken or that is assigned inside a function literal escapes the
+// per-path tracking and is dropped.
+func (w *warFunc) collectGuards(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			w.guardCandidate(n.Cond)
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				w.guardCandidate(n.Cond)
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if obj := w.identObj(n.X); obj != nil {
+					delete(w.guards, obj)
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if as, ok := m.(*ast.AssignStmt); ok {
+					for _, lhs := range as.Lhs {
+						if obj := w.identObj(lhs); obj != nil {
+							delete(w.guards, obj)
+						}
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// guardCandidate registers cond's guard variable, if cond is a plain
+// (possibly !-negated) boolean identifier.
+func (w *warFunc) guardCandidate(cond ast.Expr) {
+	if obj, _, ok := w.guardCond(cond); ok {
+		w.guards[obj] = true
+	}
+}
+
+// guardCond decomposes a branch condition into (guard object, value the
+// condition asserts when true). Only `b` and `!b` forms qualify.
+func (w *warFunc) guardCond(cond ast.Expr) (types.Object, bool, bool) {
+	e := ast.Unparen(cond)
+	val := true
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		e = ast.Unparen(u.X)
+		val = false
+	}
+	obj := w.identObj(e)
+	if obj == nil {
+		return nil, false, false
+	}
+	if v, ok := obj.(*types.Var); !ok || v.IsField() {
+		return nil, false, false
+	}
+	if b, ok := obj.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsBoolean == 0 {
+		return nil, false, false
+	}
+	return obj, val, true
+}
+
+func (w *warFunc) identObj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := w.pass.Info.Uses[id]
+	if obj == nil {
+		obj = w.pass.Info.Defs[id]
+	}
+	return obj
+}
+
+// analyze runs the path-sensitive dataflow over the function body and
+// then replays each block against its fixed entry state to emit
+// diagnostics exactly once.
 func (w *warFunc) analyze(body *ast.BlockStmt) {
 	g := flow.Build(body)
-	// nil is the solver's bottom (block not yet reached on any path) and
-	// must stay distinct from the empty fact (reached, nothing accessed):
-	// written-first survives a join with bottom but not a join with a
-	// genuinely-untouched path, where the next access may still read.
-	join := func(dst, src warFact) (warFact, bool) {
-		if src == nil {
-			return dst, false
-		}
-		if dst == nil {
-			cp := make(warFact, len(src))
-			for k, v := range src {
-				cp[k] = v
-			}
-			return cp, true
-		}
-		changed := false
-		for key, acc := range src {
-			old, ok := dst[key]
-			switch {
-			case !ok:
-				// Untouched on the dst path: the merge may still read
-				// first, so src's state only survives if it is the
-				// hazardous one.
-				if acc.readFirst {
-					dst[key] = acc
-					changed = true
-				}
-			case old.readFirst:
-				if acc.readFirst && acc.pos < old.pos {
-					dst[key] = acc
-					changed = true
-				}
-			case acc.readFirst:
-				dst[key] = acc
-				changed = true
-			}
-		}
-		// written-first on dst but absent on src: the src path can still
-		// read first later, so written-first must not survive the merge.
-		for key, acc := range dst {
-			if !acc.readFirst {
-				if _, ok := src[key]; !ok {
-					delete(dst, key)
-					changed = true
-				}
-			}
-		}
-		return dst, changed
-	}
-	transfer := func(b *flow.Block, in warFact) warFact {
-		st := make(warFact, len(in))
-		for k, v := range in {
-			st[k] = v
-		}
-		for _, n := range b.Nodes {
-			w.node(n, st, false)
-		}
-		return st
-	}
-	facts := flow.Forward(g, warFact{}, func() warFact { return nil }, join, transfer)
+	facts := flow.ForwardEdges(g,
+		warState{&pathFact{env: map[types.Object]bool{}, acc: warFact{}}},
+		func() warState { return nil },
+		w.join, w.transfer, w.refine)
 	for _, b := range g.Blocks {
-		st := make(warFact, len(facts[b]))
-		for k, v := range facts[b] {
-			st[k] = v
+		states := make(warState, 0, len(facts[b]))
+		for _, s := range facts[b] {
+			states = append(states, s.clone())
 		}
 		for _, n := range b.Nodes {
-			w.node(n, st, true)
+			for _, s := range states {
+				w.node(n, s, true)
+			}
 		}
 	}
 }
 
-// node interprets one CFG node, updating the fact and (when report is
-// set) emitting diagnostics for hazardous writes.
-func (w *warFunc) node(n ast.Node, st warFact, report bool) {
+// join folds a predecessor's exit states into a block's entry states:
+// a state with an already-seen guard environment merges its access
+// facts into that state; a new environment appends a new state until
+// the width bound, beyond which it merges into the first state with
+// environments intersected.
+func (w *warFunc) join(dst, src warState) (warState, bool) {
+	if src == nil {
+		return dst, false
+	}
+	changed := false
+	for _, s := range src {
+		var match *pathFact
+		for _, d := range dst {
+			if envEqual(d.env, s.env) {
+				match = d
+				break
+			}
+		}
+		switch {
+		case match != nil:
+			if accJoin(match.acc, s.acc) {
+				changed = true
+			}
+		case len(dst) < maxPathStates:
+			dst = append(dst, s.clone())
+			changed = true
+		default:
+			d := dst[0]
+			for k, v := range d.env {
+				if sv, ok := s.env[k]; !ok || sv != v {
+					delete(d.env, k)
+					changed = true
+				}
+			}
+			if accJoin(d.acc, s.acc) {
+				changed = true
+			}
+		}
+	}
+	return dst, changed
+}
+
+func envEqual(a, b map[types.Object]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// accJoin merges src's access facts into dst with the interval
+// semantics: read-first survives a merge with an untouched path (the
+// merged path may still read first), written-first survives only when
+// written on both paths.
+func accJoin(dst, src warFact) bool {
+	changed := false
+	for key, acc := range src {
+		old, ok := dst[key]
+		switch {
+		case !ok:
+			// Untouched on the dst path: the merge may still read first,
+			// so src's state only survives if it is the hazardous one.
+			if acc.readFirst {
+				dst[key] = acc
+				changed = true
+			}
+		case old.readFirst:
+			if acc.readFirst && acc.pos < old.pos {
+				dst[key] = acc
+				changed = true
+			}
+		case acc.readFirst:
+			dst[key] = acc
+			changed = true
+		}
+	}
+	// written-first on dst but absent on src: the src path can still
+	// read first later, so written-first must not survive the merge.
+	for key, acc := range dst {
+		if !acc.readFirst {
+			if _, ok := src[key]; !ok {
+				delete(dst, key)
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// transfer interprets a block's nodes over every path state.
+func (w *warFunc) transfer(b *flow.Block, in warState) warState {
+	out := make(warState, 0, len(in))
+	for _, s := range in {
+		out = append(out, s.clone())
+	}
+	for _, n := range b.Nodes {
+		for _, s := range out {
+			w.node(n, s, false)
+		}
+	}
+	return out
+}
+
+// refine specializes a block's exit states to the branch edge being
+// taken: when the block ends in a recognizable guard condition, states
+// contradicting the edge's outcome are infeasible and dropped, and the
+// surviving states record the asserted value.
+func (w *warFunc) refine(from, to *flow.Block, out warState) (warState, bool) {
+	br := from.Branch
+	if br == nil {
+		return out, true
+	}
+	obj, condVal, ok := w.guardCond(br.Cond)
+	if !ok || !w.guards[obj] {
+		return out, true
+	}
+	var want bool
+	switch to {
+	case br.True:
+		want = condVal
+	case br.False:
+		want = !condVal
+	default:
+		return out, true
+	}
+	var kept warState
+	for _, s := range out {
+		if known, ok := s.env[obj]; ok && known != want {
+			continue // this path's guard value contradicts the edge
+		}
+		cp := s.clone()
+		cp.env[obj] = want
+		kept = append(kept, cp)
+	}
+	if len(kept) == 0 {
+		return nil, false
+	}
+	return kept, true
+}
+
+// node interprets one CFG node, updating the path state and (when
+// report is set) emitting diagnostics for hazardous writes.
+func (w *warFunc) node(n ast.Node, pf *pathFact, report bool) {
+	st := pf.acc
 	switch n := n.(type) {
 	case *ast.AssignStmt:
 		compound := n.Tok != token.ASSIGN && n.Tok != token.DEFINE
@@ -246,6 +496,7 @@ func (w *warFunc) node(n ast.Node, st warFact, report bool) {
 			}
 			w.writeTarget(lhs, st, report)
 		}
+		w.updateGuards(n, pf)
 	case *ast.IncDecStmt:
 		w.reads(n.X, st)
 		w.writeTarget(n.X, st, report)
@@ -271,6 +522,11 @@ func (w *warFunc) node(n ast.Node, st warFact, report bool) {
 					for _, v := range vs.Values {
 						w.reads(v, st)
 					}
+					for _, name := range vs.Names {
+						if obj := w.pass.Info.Defs[name]; obj != nil && w.guards[obj] {
+							w.setGuard(pf, obj, vs.Values, indexOf(vs.Names, name))
+						}
+					}
 				}
 			}
 		}
@@ -279,13 +535,89 @@ func (w *warFunc) node(n ast.Node, st warFact, report bool) {
 		// X was consumed in a predecessor block.
 		if n.Key != nil {
 			w.writeTarget(n.Key, st, report)
+			if obj := w.identObj(n.Key); obj != nil {
+				delete(pf.env, obj)
+			}
 		}
 		if n.Value != nil {
 			w.writeTarget(n.Value, st, report)
+			if obj := w.identObj(n.Value); obj != nil {
+				delete(pf.env, obj)
+			}
 		}
 	case ast.Expr:
 		w.reads(n, st)
 	}
+}
+
+// updateGuards tracks assignments to guard locals: a constant boolean
+// right-hand side pins the guard's value on this path, anything else
+// invalidates it.
+func (w *warFunc) updateGuards(n *ast.AssignStmt, pf *pathFact) {
+	for i, lhs := range n.Lhs {
+		obj := w.identObj(lhs)
+		if obj == nil || !w.guards[obj] {
+			continue
+		}
+		if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+			delete(pf.env, obj) // compound ops do not apply to bools anyway
+			continue
+		}
+		if len(n.Lhs) == len(n.Rhs) {
+			if v, ok := boolConst(w.pass.Info, n.Rhs[i]); ok {
+				pf.env[obj] = v
+				continue
+			}
+		}
+		delete(pf.env, obj)
+	}
+}
+
+// setGuard pins a guard declared with a constant initializer (var
+// declarations route here; := assignments go through updateGuards).
+func (w *warFunc) setGuard(pf *pathFact, obj types.Object, values []ast.Expr, i int) {
+	if i >= 0 && i < len(values) {
+		if v, ok := boolConst(w.pass.Info, values[i]); ok {
+			pf.env[obj] = v
+			return
+		}
+	}
+	if len(values) == 0 {
+		pf.env[obj] = false // zero value
+		return
+	}
+	delete(pf.env, obj)
+}
+
+func indexOf(names []*ast.Ident, name *ast.Ident) int {
+	for i, n := range names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// boolConst evaluates e as a compile-time boolean constant.
+func boolConst(info *types.Info, e ast.Expr) (bool, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Bool {
+		return false, false
+	}
+	return constant.BoolVal(tv.Value), true
+}
+
+// intConst evaluates e as a compile-time non-negative integer constant.
+func intConst(info *types.Info, e ast.Expr) (int, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	if !exact || v < 0 {
+		return 0, false
+	}
+	return int(v), true
 }
 
 // reads records every NVM read inside the expression and handles calls:
@@ -387,20 +719,29 @@ func (w *warFunc) aliasBinding(lhs, rhs ast.Expr) bool {
 
 // read records a first access being a read. A location already written
 // this interval stays written-first: re-execution deterministically
-// repeats the store before the read, so the read is consistent. Reading
-// a whole marked struct reads every field.
-func (w *warFunc) read(key types.Object, disp string, pos token.Pos, st warFact) {
+// repeats the store before the read, so the read is consistent — and a
+// whole-location write covers every constant-index sub-location.
+// Reading a whole marked struct reads every field.
+func (w *warFunc) read(key warKey, disp string, pos token.Pos, st warFact) {
 	if _, ok := st[key]; !ok {
-		st[key] = warAccess{readFirst: true, pos: pos}
-		w.display[key] = disp
+		covered := false
+		if key.idx != wholeLoc {
+			if acc, ok := st[warKey{obj: key.obj, idx: wholeLoc}]; ok && !acc.readFirst {
+				covered = true
+			}
+		}
+		if !covered {
+			st[key] = warAccess{readFirst: true, pos: pos}
+			w.display[key] = disp
+		}
 	}
-	if named := asNamed(key.Type()); named != nil && w.pass.Dirs.ObjHas(named.Obj(), "nvm") {
+	if named := asNamed(key.obj.Type()); named != nil && w.pass.Dirs.ObjHas(named.Obj(), "nvm") {
 		if s, ok := named.Underlying().(*types.Struct); ok {
 			for i := 0; i < s.NumFields(); i++ {
-				f := s.Field(i)
-				if _, ok := st[f]; !ok {
-					st[f] = warAccess{readFirst: true, pos: pos}
-					w.display[f] = named.Obj().Name() + "." + f.Name()
+				fk := warKey{obj: s.Field(i), idx: wholeLoc}
+				if _, ok := st[fk]; !ok {
+					st[fk] = warAccess{readFirst: true, pos: pos}
+					w.display[fk] = named.Obj().Name() + "." + s.Field(i).Name()
 				}
 			}
 		}
@@ -408,9 +749,9 @@ func (w *warFunc) read(key types.Object, disp string, pos token.Pos, st warFact)
 }
 
 // writeTarget resolves an assignment target; an NVM write to a
-// read-first location is the hazard. Assigning to a derived local
-// *itself* (dst = ..., not dst[i] = ...) only replaces the local's
-// header — the NVM backing store is untouched.
+// location whose first access overlaps a read is the hazard. Assigning
+// to a derived local *itself* (dst = ..., not dst[i] = ...) only
+// replaces the local's header — the NVM backing store is untouched.
 func (w *warFunc) writeTarget(e ast.Expr, st warFact, report bool) {
 	if id, ok := e.(*ast.Ident); ok {
 		obj := w.pass.Info.Defs[id]
@@ -432,13 +773,29 @@ func (w *warFunc) writeTarget(e ast.Expr, st warFact, report bool) {
 		return
 	}
 	w.indexReads(e, st)
-	if acc, hit := st[key]; hit && acc.readFirst {
-		if report {
+	// The hazard: any overlapping location read first this interval.
+	hazard := warAccess{}
+	for k, acc := range st {
+		if acc.readFirst && k.overlaps(key) {
+			if !hazard.readFirst || acc.pos < hazard.pos {
+				hazard = acc
+			}
+		}
+	}
+	if hazard.readFirst {
+		if report && !w.reported[e.Pos()] {
+			w.reported[e.Pos()] = true
 			w.pass.Reportf(e.Pos(),
 				"WAR hazard on NVM-backed %s: written after a read at line %d with no preservation point between (re-execution after a power failure would observe the new value; commit through an //iprune:preserve function or annotate //iprune:allow-war)",
-				disp, w.pass.Fset.Position(acc.pos).Line)
+				disp, w.pass.Fset.Position(hazard.pos).Line)
 		}
-		// Downgrade to written-first: one report per interval per site.
+		// Downgrade the overlapping locations to written-first: one
+		// report per interval per site.
+		for k, acc := range st {
+			if acc.readFirst && k.overlaps(key) {
+				st[k] = warAccess{}
+			}
+		}
 		st[key] = warAccess{}
 		w.display[key] = disp
 		return
@@ -448,13 +805,13 @@ func (w *warFunc) writeTarget(e ast.Expr, st warFact, report bool) {
 		w.display[key] = disp
 	}
 	// Writing a whole marked struct makes every field written-first.
-	if named := asNamed(key.Type()); named != nil && w.pass.Dirs.ObjHas(named.Obj(), "nvm") {
+	if named := asNamed(key.obj.Type()); named != nil && w.pass.Dirs.ObjHas(named.Obj(), "nvm") {
 		if s, ok := named.Underlying().(*types.Struct); ok {
 			for i := 0; i < s.NumFields(); i++ {
-				f := s.Field(i)
-				if _, hit := st[f]; !hit {
-					st[f] = warAccess{}
-					w.display[f] = named.Obj().Name() + "." + f.Name()
+				fk := warKey{obj: s.Field(i), idx: wholeLoc}
+				if _, hit := st[fk]; !hit {
+					st[fk] = warAccess{}
+					w.display[fk] = named.Obj().Name() + "." + s.Field(i).Name()
 				}
 			}
 		}
@@ -489,60 +846,74 @@ func (w *warFunc) indexReads(e ast.Expr, st warFact) {
 // nvmRef resolves an expression to the NVM location it denotes: a field
 // marked //iprune:nvm, any field of a type marked //iprune:nvm, a whole
 // value of a marked type, or a local variable derived from one
-// (collectDerived). Returns the identifying object and a display name.
-func (w *warFunc) nvmRef(e ast.Expr) (types.Object, string, bool) {
+// (collectDerived). A constant index into an array-typed NVM location
+// refines it into a disjoint sub-location (partial[0] vs partial[1]);
+// any other index denotes the whole location. Returns the identifying
+// key and a display name.
+func (w *warFunc) nvmRef(e ast.Expr) (warKey, string, bool) {
 	p := w.pass
-	for {
-		switch x := e.(type) {
-		case *ast.ParenExpr:
-			e = x.X
-		case *ast.StarExpr:
-			e = x.X
-		case *ast.IndexExpr:
-			e = x.X
-		case *ast.SliceExpr:
-			e = x.X
-		case *ast.SelectorExpr:
-			if sel, ok := p.Info.Selections[x]; ok {
-				if obj := sel.Obj(); obj != nil && p.Dirs.ObjHas(obj, "nvm") {
-					return obj, obj.Name(), true
-				}
-				if named := asNamed(sel.Recv()); named != nil && p.Dirs.ObjHas(named.Obj(), "nvm") {
-					if obj := sel.Obj(); obj != nil {
-						return obj, named.Obj().Name() + "." + x.Sel.Name, true
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return w.nvmRef(x.X)
+	case *ast.StarExpr:
+		return w.nvmRef(x.X)
+	case *ast.SliceExpr:
+		return w.nvmRef(x.X)
+	case *ast.IndexExpr:
+		key, disp, ok := w.nvmRef(x.X)
+		if !ok {
+			return warKey{}, "", false
+		}
+		if key.idx == wholeLoc {
+			if t := p.Info.Types[x.X].Type; t != nil {
+				if _, isArr := t.Underlying().(*types.Array); isArr {
+					if c, okc := intConst(p.Info, x.Index); okc {
+						return warKey{obj: key.obj, idx: c}, disp + "[" + strconv.Itoa(c) + "]", true
 					}
 				}
 			}
-			if named := asNamed(p.Info.Types[x].Type); named != nil && p.Dirs.ObjHas(named.Obj(), "nvm") {
-				if obj, ok := selectionObj(p, x); ok {
-					return obj, named.Obj().Name(), true
-				}
-				return named.Obj(), named.Obj().Name(), true
-			}
-			e = x.X
-		case *ast.Ident:
-			obj := p.Info.Uses[x]
-			if obj == nil {
-				obj = p.Info.Defs[x]
-			}
-			if obj != nil {
-				if key, ok := w.derived[obj]; ok {
-					return key, w.display[key] + " (via " + x.Name + ")", true
-				}
-				if p.Dirs.ObjHas(obj, "nvm") {
-					return obj, obj.Name(), true
-				}
-			}
-			if named := asNamed(p.Info.Types[x].Type); named != nil && p.Dirs.ObjHas(named.Obj(), "nvm") {
-				if obj != nil {
-					return obj, named.Obj().Name() + " " + x.Name, true
-				}
-				return named.Obj(), named.Obj().Name(), true
-			}
-			return nil, "", false
-		default:
-			return nil, "", false
 		}
+		return key, disp, true
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[x]; ok {
+			if obj := sel.Obj(); obj != nil && p.Dirs.ObjHas(obj, "nvm") {
+				return warKey{obj: obj, idx: wholeLoc}, obj.Name(), true
+			}
+			if named := asNamed(sel.Recv()); named != nil && p.Dirs.ObjHas(named.Obj(), "nvm") {
+				if obj := sel.Obj(); obj != nil {
+					return warKey{obj: obj, idx: wholeLoc}, named.Obj().Name() + "." + x.Sel.Name, true
+				}
+			}
+		}
+		if named := asNamed(p.Info.Types[x].Type); named != nil && p.Dirs.ObjHas(named.Obj(), "nvm") {
+			if obj, ok := selectionObj(p, x); ok {
+				return warKey{obj: obj, idx: wholeLoc}, named.Obj().Name(), true
+			}
+			return warKey{obj: named.Obj(), idx: wholeLoc}, named.Obj().Name(), true
+		}
+		return w.nvmRef(x.X)
+	case *ast.Ident:
+		obj := p.Info.Uses[x]
+		if obj == nil {
+			obj = p.Info.Defs[x]
+		}
+		if obj != nil {
+			if key, ok := w.derived[obj]; ok {
+				return key, w.display[key] + " (via " + x.Name + ")", true
+			}
+			if p.Dirs.ObjHas(obj, "nvm") {
+				return warKey{obj: obj, idx: wholeLoc}, obj.Name(), true
+			}
+		}
+		if named := asNamed(p.Info.Types[x].Type); named != nil && p.Dirs.ObjHas(named.Obj(), "nvm") {
+			if obj != nil {
+				return warKey{obj: obj, idx: wholeLoc}, named.Obj().Name() + " " + x.Name, true
+			}
+			return warKey{obj: named.Obj(), idx: wholeLoc}, named.Obj().Name(), true
+		}
+		return warKey{}, "", false
+	default:
+		return warKey{}, "", false
 	}
 }
 

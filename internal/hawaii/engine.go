@@ -510,25 +510,9 @@ func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool
 					opRead += int64(2 * rm * tn)
 				}
 				stats.OpReadBytes += opRead
-				// The op: widen, MAC, narrow to the output scale, and
-				// accumulate onto the previous parity's partials.
-				for r := 0; r < rm; r++ {
-					gr := r0 + r
-					wrow := block[r*w.BK:]
-					for c := 0; c < tn; c++ {
-						gc := n0 + c
-						var acc int64
-						for kq := 0; kq < kk; kq++ {
-							acc += int64(wrow[kq]) * int64(e.nvm.col[(bc*spec.TK+kq)*spec.N+gc])
-						}
-						contrib := narrowAcc(acc, w.Shift, inShift, outShift)
-						prev := fixed.Q15(0)
-						if seen > 0 {
-							prev = src[gr*spec.N+gc]
-						}
-						dst[gr*spec.N+gc] = fixed.Add(prev, contrib) //iprune:allow-war ping-pong parity: the read targets the opposite buffer, which this op never writes
-					}
-				}
+				accumulateBlock(dst, src, e.nvm.col, block,
+					seen == 0, r0, rm, n0, tn, bc*spec.TK, kk,
+					spec.N, w.BK, w.Shift, inShift, outShift)
 				opWrite := int64(2*rm*tn) + int64(e.Cfg.IndicatorBytes)
 				stats.OpWriteBytes += opWrite
 				if inj.Fail() {
@@ -580,6 +564,38 @@ func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool
 	stats.AuxWriteBytes += int64(2 * spec.M * spec.N)
 	e.clk.Emit(obs.KindPreserve, li, -1, int64(2*spec.M*spec.N), int64(2*spec.M*spec.N))
 	return false, nil
+}
+
+// accumulateBlock is the MAC inner kernel of one accelerator op: it
+// widens one surviving weight block against the transformed input
+// panel, narrows each dot product to the output scale, and accumulates
+// it onto the previous parity's partials — writing dst, reading src.
+// The caller passes the parity buffers explicitly (dst is this op's
+// buffer, src the opposite one; first suppresses the src read on a
+// row strip's first op), which keeps the ping-pong WAR discipline
+// visible in the signature and leaves the kernel free of engine state,
+// so block-parallel execution can shard calls across row strips.
+//
+//iprune:hotpath
+func accumulateBlock(dst, src, col, block []fixed.Q15,
+	first bool, r0, rm, n0, tn, k0, kk, n, bk, wShift, inShift, outShift int) {
+	for r := 0; r < rm; r++ {
+		gr := r0 + r
+		wrow := block[r*bk:]
+		for c := 0; c < tn; c++ {
+			gc := n0 + c
+			var acc int64
+			for kq := 0; kq < kk; kq++ {
+				acc += int64(wrow[kq]) * int64(col[(k0+kq)*n+gc])
+			}
+			contrib := narrowAcc(acc, wShift, inShift, outShift)
+			prev := fixed.Q15(0)
+			if !first {
+				prev = src[gr*n+gc]
+			}
+			dst[gr*n+gc] = fixed.Add(prev, contrib)
+		}
+	}
 }
 
 // narrowAcc converts a 30-fractional-bit accumulator at combined scale

@@ -24,13 +24,20 @@ echo "== go test -race"
 go test -race ./...
 
 echo "== iprunelint"
-go run ./cmd/iprunelint -json ./...
+go run ./cmd/iprunelint -cache -json ./...
 
 # Trace-pipeline smoke test: a quick-scale fig2 regeneration must leave
-# a parseable, non-empty Chrome trace artifact behind.
+# a parseable, non-empty Chrome trace artifact behind. CI sets
+# CHECK_ARTIFACT_DIR to a directory it uploads on failure; local runs
+# use a throwaway temp dir.
 echo "== repro trace smoke"
-tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
+if [ -n "${CHECK_ARTIFACT_DIR:-}" ]; then
+    tmp="$CHECK_ARTIFACT_DIR"
+    mkdir -p "$tmp"
+else
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+fi
 go run ./cmd/repro -scale quick -artifacts "$tmp" -q fig2 > /dev/null
 test -s "$tmp/fig2/trace.json"
 go run scripts/jsoncheck.go "$tmp/fig2/trace.json"
