@@ -264,7 +264,10 @@ func BenchmarkPowerSweep(b *testing.B) {
 		var last float64
 		for _, p := range sweep {
 			sup := power.Supply{Name: "sweep", Power: p, Jitter: 0}
-			r := cs.RunNetwork(net, specs, tile.Intermittent, sup, 1)
+			r, err := cs.RunNetwork(net, specs, tile.Intermittent, sup, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
 			if last != 0 && r.Latency >= last {
 				b.Fatal("latency must fall as harvest power rises")
 			}
@@ -334,7 +337,9 @@ func BenchmarkCostSimHAR(b *testing.B) {
 	cs := hawaii.NewCostSim(cfg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cs.RunNetwork(net, specs, tile.Intermittent, power.WeakPower, int64(i))
+		if _, err := cs.RunNetwork(net, specs, tile.Intermittent, power.WeakPower, int64(i)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -443,8 +448,14 @@ func BenchmarkDisciplineComparison(b *testing.B) {
 	tasks := hawaii.TaskScheduleFromNetwork(net, specs, cfg)
 	for i := 0; i < b.N; i++ {
 		for _, sup := range report.Supplies() {
-			job := cs.Run(jobOps, tile.Intermittent, sup, 1)
-			task := cs.Run(tasks, tile.Intermittent, sup, 1)
+			job, err := cs.Run(jobOps, tile.Intermittent, sup, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			task, err := cs.Run(tasks, tile.Intermittent, sup, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
 			if !sup.Continuous && task.Latency <= job.Latency {
 				b.Fatalf("task-level should lose under %s power", sup.Name)
 			}

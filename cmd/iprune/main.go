@@ -144,7 +144,9 @@ func main() {
 	if *diff || *diffCSVPath != "" {
 		observe := func(n *iprune.Network) *iprune.RunStats {
 			rec := iprune.NewTraceRecorder()
-			iprune.SimulateObserved(n, sup, *seed, rec)
+			if _, err := iprune.SimulateObserved(n, sup, *seed, rec); err != nil {
+				log.Fatal(err)
+			}
 			return iprune.CollectTrace(rec.Events())
 		}
 		d := iprune.DiffTrace(observe(net), observe(res.Net))
@@ -173,7 +175,10 @@ func main() {
 		return
 	}
 	rec := iprune.NewTraceRecorder()
-	r := iprune.SimulateObserved(res.Net, sup, *seed, rec)
+	r, err := iprune.SimulateObserved(res.Net, sup, *seed, rec)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("evaluation under %s: latency %.3fs, %d power cycles, %.2f mJ\n",
 		sup.Name, r.Latency, r.Failures, r.Energy*1e3)
 	names := iprune.PrunableLayerNames(res.Net)

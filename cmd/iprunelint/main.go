@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	iprunelint [-list] [-json] [-cache] [-cachedir DIR] [-dir DIR] [packages]
+//	iprunelint [-list] [-json] [-sarif] [-cache] [-cachestats] [-cachedir DIR] [-dir DIR] [packages]
 //
 // Packages default to ./... relative to the module root, which is found
 // by walking up from -dir (default: the working directory). The
@@ -23,7 +23,12 @@
 // With -json, findings are emitted as a JSON array of
 // {file,line,col,analyzer,message} objects (file paths module-root
 // relative) so CI tooling can post-process them; an empty run prints
-// "[]".
+// "[]". With -sarif, findings are emitted as a SARIF 2.1.0 log with one
+// rule per analyzer, suitable for GitHub code scanning upload; -json
+// and -sarif are mutually exclusive.
+//
+// With -cachestats (implies -cache), the accounting expands to hits,
+// misses and invalidations plus the re-analyzed package list.
 //
 // Exit status: 0 clean, 1 findings reported, 2 operational error
 // (unparseable source, type-check failure, bad invocation).
@@ -60,11 +65,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	asSARIF := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
 	dir := fs.String("dir", "", "directory to resolve the module root from (default: working directory)")
 	useCache := fs.Bool("cache", false, "reuse cached diagnostics for packages whose inputs are unchanged")
+	cacheStats := fs.Bool("cachestats", false, "print cache hit/miss/invalidation accounting (implies -cache)")
 	cacheDir := fs.String("cachedir", "", "cache directory (default: <module root>/.iprunelint.cache)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *asJSON && *asSARIF {
+		fmt.Fprintln(stderr, "iprunelint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	if *cacheStats {
+		*useCache = true
 	}
 
 	if *list {
@@ -109,7 +123,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		c := &analysis.Cache{Dir: cdir, Root: root}
 		diags = analysis.RunCached(analysis.All(), pkgs, loader.Directives(), c, loader.Packages())
-		c.Stats.Summary(stderr)
+		if *cacheStats {
+			c.Stats.Detail(stderr)
+		} else {
+			c.Stats.Summary(stderr)
+		}
 	} else {
 		diags = analysis.Run(analysis.All(), pkgs, loader.Directives())
 	}
@@ -122,7 +140,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if *asJSON {
+	if *asSARIF {
+		if err := writeSARIF(stdout, diags, analysis.All()); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else if *asJSON {
 		out := make([]finding, 0, len(diags))
 		for _, d := range diags {
 			out = append(out, finding{

@@ -152,9 +152,154 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list: exit %d", code)
 	}
-	for _, name := range []string{"floatpurity", "warhazard", "parsafe", "floatflow", "allocflow", "errcheck"} {
+	for _, name := range []string{"floatpurity", "warhazard", "parsafe", "floatflow", "allocflow", "errcheck", "regionbudget"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list missing %s:\n%s", name, stdout.String())
 		}
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/fixed/fixed.go": "package fixed\n\nfunc Scale(x float64) float64 { return x * 1.5 }\n",
+	})
+	code, stdout, stderr := runLint(t, dir, "-sarif", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("-sarif output is not JSON: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "iprunelint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, want := range []string{"floatpurity", "regionbudget", "warhazard", "directives"} {
+		if !ruleIDs[want] {
+			t.Errorf("rules missing %s", want)
+		}
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("dirty module produced no SARIF results")
+	}
+	res := run.Results[0]
+	if res.RuleID != "floatpurity" || res.Level != "warning" || res.Message.Text == "" {
+		t.Errorf("result = %+v", res)
+	}
+	if len(res.Locations) != 1 {
+		t.Fatalf("%d locations", len(res.Locations))
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/fixed/fixed.go" || loc.Region.StartLine < 1 {
+		t.Errorf("location = %+v", loc)
+	}
+	if !ruleIDs[res.RuleID] {
+		t.Errorf("result rule %q not declared in rules", res.RuleID)
+	}
+
+	// A clean run still emits a complete log with an empty results array.
+	clean := writeModule(t, map[string]string{
+		"internal/fixed/fixed.go": "package fixed\n\nfunc Add(a, b int16) int16 { return a + b }\n",
+	})
+	code, stdout, _ = runLint(t, clean, "-sarif", "./...")
+	if code != 0 {
+		t.Fatalf("clean -sarif run: exit %d", code)
+	}
+	if !strings.Contains(stdout, `"results": []`) {
+		t.Errorf("clean -sarif run missing empty results array:\n%s", stdout)
+	}
+}
+
+func TestJSONSARIFExclusive(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-sarif"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-json -sarif: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Errorf("stderr: %s", stderr.String())
+	}
+}
+
+// TestCacheStatsFlag pins the expanded accounting: a cold run misses
+// everything, a warm run hits everything, and editing one package turns
+// exactly its entry into an invalidation.
+func TestCacheStatsFlag(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/fixed/fixed.go": "package fixed\n\nfunc Scale(x float64) float64 { return x * 1.5 }\n",
+		"internal/nn/nn.go":       "package nn\n\nfunc Fine(x int) int { return x }\n",
+	})
+	code, _, cold := runLint(t, dir, "-cachestats", "./...")
+	if code != 1 {
+		t.Fatalf("cold run: exit %d, want 1\nstderr: %s", code, cold)
+	}
+	if !strings.Contains(cold, "cache: 0 hit(s), 2 miss(es), 0 invalidation(s)") {
+		t.Errorf("cold run accounting: %s", cold)
+	}
+	if !strings.Contains(cold, "reanalyzed: iprune/internal/fixed") ||
+		!strings.Contains(cold, "reanalyzed: iprune/internal/nn") {
+		t.Errorf("cold run missing reanalyzed packages: %s", cold)
+	}
+	code, _, warm := runLint(t, dir, "-cachestats", "./...")
+	if code != 1 {
+		t.Fatalf("warm run: exit %d, want 1\nstderr: %s", code, warm)
+	}
+	if !strings.Contains(warm, "cache: 2 hit(s), 0 miss(es), 0 invalidation(s)") {
+		t.Errorf("warm run accounting: %s", warm)
+	}
+	if strings.Contains(warm, "reanalyzed:") {
+		t.Errorf("warm run re-analyzed something: %s", warm)
+	}
+
+	// Editing one package invalidates its stored entry (stale key), while
+	// the untouched package still hits.
+	edited := "package fixed\n\nfunc Scale(x float64) float64 { return x * 2.5 }\n"
+	if err := os.WriteFile(filepath.Join(dir, "internal/fixed/fixed.go"), []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stale := runLint(t, dir, "-cachestats", "./...")
+	if code != 1 {
+		t.Fatalf("stale run: exit %d, want 1\nstderr: %s", code, stale)
+	}
+	if !strings.Contains(stale, "cache: 1 hit(s), 1 miss(es), 1 invalidation(s)") {
+		t.Errorf("stale run accounting: %s", stale)
+	}
+	if !strings.Contains(stale, "reanalyzed: iprune/internal/fixed") {
+		t.Errorf("stale run missing the edited package: %s", stale)
 	}
 }

@@ -1,0 +1,122 @@
+package main
+
+// SARIF 2.1.0 rendering for -sarif: the static-analysis interchange
+// format GitHub code scanning ingests. Only the slice of the spec the
+// findings need is modeled — a single run, one rule per analyzer (plus
+// the directive parser's own findings under "directives"), and physical
+// locations with module-root-relative URIs.
+
+import (
+	"encoding/json"
+	"io"
+
+	"iprune/internal/analysis"
+)
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF renders the diagnostics (whose filenames must already be
+// module-root-relative, forward-slash form) as one SARIF run. Every
+// analyzer contributes a rule even when it found nothing, so consumers
+// can tell "clean" from "not run".
+func writeSARIF(w io.Writer, diags []analysis.Diagnostic, analyzers []*analysis.Analyzer) error {
+	driver := sarifDriver{Name: "iprunelint"}
+	for _, a := range analyzers {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	driver.Rules = append(driver.Rules, sarifRule{
+		ID:               "directives",
+		ShortDescription: sarifMessage{Text: "//iprune: directives are well formed"},
+	})
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		line := d.Pos.Line
+		if line < 1 {
+			line = 1 // SARIF requires 1-based regions
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       d.Pos.Filename,
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	})
+}

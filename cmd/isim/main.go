@@ -114,10 +114,14 @@ func main() {
 	var totalFail int
 	for i := 0; i < *n; i++ {
 		var r iprune.SimResult
+		var simErr error
 		if i == 0 && tr != nil {
-			r = iprune.SimulateObserved(net, sup, *seed+int64(i), tr)
+			r, simErr = iprune.SimulateObserved(net, sup, *seed+int64(i), tr)
 		} else {
-			r = iprune.Simulate(net, sup, *seed+int64(i))
+			r, simErr = iprune.Simulate(net, sup, *seed+int64(i))
+		}
+		if simErr != nil {
+			log.Fatal(simErr)
 		}
 		totalLat += r.Latency
 		totalEnergy += r.Energy

@@ -33,7 +33,10 @@ func Example_simulate() {
 	}
 	sup := iprune.StrongPower
 	sup.Jitter = 0 // deterministic for the doc example
-	res := iprune.Simulate(net, sup, 1)
+	res, err := iprune.Simulate(net, sup, 1)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("power cycles > 10: %v\n", res.Failures > 10)
 	fmt.Printf("charging dominates: %v\n", res.OffTime > res.ActiveTime)
 	// Output:

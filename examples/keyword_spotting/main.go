@@ -58,10 +58,20 @@ func main() {
 	fmt.Println("\nintermittent latency under the paper's power strengths:")
 	fmt.Printf("  %-11s %10s %10s %10s\n", "supply", "unpruned", "ePrune", "iPrune")
 	for _, sup := range []iprune.Supply{iprune.ContinuousPower, iprune.StrongPower, iprune.WeakPower} {
-		u := iprune.Simulate(net, sup, 1)
-		e := iprune.Simulate(variants[0].net, sup, 1)
-		i := iprune.Simulate(variants[1].net, sup, 1)
+		u := mustSimulate(net, sup)
+		e := mustSimulate(variants[0].net, sup)
+		i := mustSimulate(variants[1].net, sup)
 		fmt.Printf("  %-11s %9.3fs %9.3fs %9.3fs   (iPrune %.2fx vs ePrune)\n",
 			sup.Name, u.Latency, e.Latency, i.Latency, e.Latency/i.Latency)
 	}
+}
+
+// mustSimulate runs one simulated inference, aborting the comparison if
+// the schedule cannot complete under the supply (op exceeds the buffer).
+func mustSimulate(net *iprune.Network, sup iprune.Supply) iprune.SimResult {
+	r, err := iprune.Simulate(net, sup, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
 }

@@ -57,9 +57,19 @@ func main() {
 	// 5. Simulate intermittent inference on the MSP430-class device under
 	// the paper's harvested-power operating points.
 	for _, sup := range []iprune.Supply{iprune.ContinuousPower, iprune.StrongPower, iprune.WeakPower} {
-		b := iprune.Simulate(net, sup, 1)
-		a := iprune.Simulate(res.Net, sup, 1)
+		b := mustSimulate(net, sup)
+		a := mustSimulate(res.Net, sup)
 		fmt.Printf("  %-10s latency %.3fs -> %.3fs  (%.2fx, %d -> %d power cycles)\n",
 			sup.Name, b.Latency, a.Latency, b.Latency/a.Latency, b.Failures, a.Failures)
 	}
+}
+
+// mustSimulate runs one simulated inference, aborting the demo if the
+// schedule cannot complete under the supply (op exceeds the buffer).
+func mustSimulate(net *iprune.Network, sup iprune.Supply) iprune.SimResult {
+	r, err := iprune.Simulate(net, sup, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
 }

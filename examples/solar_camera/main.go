@@ -42,8 +42,8 @@ func main() {
 	fmt.Printf("  %8s | %10s %11s | %10s %11s\n", "mW", "latency", "cycles", "latency", "cycles")
 	for _, mw := range []float64{2, 4, 8, 16, 32} {
 		sup := iprune.Supply{Name: fmt.Sprintf("%.0fmW", mw), Power: mw * 1e-3, Jitter: 0.1}
-		u := iprune.Simulate(net, sup, 1)
-		p := iprune.Simulate(pruned, sup, 1)
+		u := mustSimulate(net, sup)
+		p := mustSimulate(pruned, sup)
 		bar := strings.Repeat("#", int(u.Latency/p.Latency*4))
 		fmt.Printf("  %8.0f | %9.2fs %11d | %9.2fs %11d  speedup %s %.2fx\n",
 			mw, u.Latency, u.Failures, p.Latency, p.Failures, bar, u.Latency/p.Latency)
@@ -52,7 +52,7 @@ func main() {
 	fmt.Println("\nduty cycle (on-time share) of the pruned model:")
 	for _, mw := range []float64{2, 4, 8, 16, 32} {
 		sup := iprune.Supply{Name: "sweep", Power: mw * 1e-3, Jitter: 0.1}
-		r := iprune.Simulate(pruned, sup, 1)
+		r := mustSimulate(pruned, sup)
 		duty := r.ActiveTime / r.Latency
 		fmt.Printf("  %5.0f mW: %5.1f%% %s\n", mw, 100*duty, strings.Repeat("=", int(duty*40)))
 	}
@@ -85,4 +85,14 @@ func main() {
 		fmt.Printf("  start at %3.0f%% of day (%.1f mW): latency %7.2fs, %d power cycles\n",
 			100*startFrac, 1e3*day.At(shift), r.Latency, r.Failures)
 	}
+}
+
+// mustSimulate runs one simulated inference, aborting the sweep if the
+// schedule cannot complete under the supply (op exceeds the buffer).
+func mustSimulate(net *iprune.Network, sup iprune.Supply) iprune.SimResult {
+	r, err := iprune.Simulate(net, sup, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
 }

@@ -13,6 +13,7 @@ package adaptive
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"iprune/internal/hawaii"
@@ -67,13 +68,19 @@ func NewSelector(variants []Variant) (*Selector, error) {
 
 // Estimate returns the simulated end-to-end latency of variant i under
 // the given harvested power (deterministic: jitter disabled so the
-// decision is reproducible).
+// decision is reproducible). A variant that cannot complete under the
+// supply — an op exceeds the buffer — estimates as +Inf, so Pick never
+// selects it while any completing variant exists.
 func (s *Selector) Estimate(i int, harvestWatts float64) float64 {
 	sup := power.Supply{Name: "estimate", Power: harvestWatts}
 	if harvestWatts >= 1 {
 		sup.Continuous = true
 	}
-	return s.sim.Run(s.variants[i].schedule, tile.Intermittent, sup, 1).Latency
+	res, err := s.sim.Run(s.variants[i].schedule, tile.Intermittent, sup, 1)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return res.Latency
 }
 
 // Decision reports what Pick chose and why.

@@ -13,7 +13,11 @@
 //   - warhazard: no write-after-read hazard on NVM state between
 //     preservation points (CFG + dataflow, see flow/ and warhazard.go);
 //   - floatflow / allocflow: the float-purity and hot-alloc invariants
-//     propagated interprocedurally over the module call graph.
+//     propagated interprocedurally over the module call graph;
+//   - regionbudget: every preserve-to-preserve region in a hot path has
+//     a static worst-case cost within the power-cycle energy budget
+//     (trip-count inference + interprocedural summaries, see
+//     regionbudget.go).
 //
 // Analyzers report findings through Pass.Reportf, which consults the
 // directive index (see directives.go) so that //iprune:allow-* escape
@@ -269,8 +273,8 @@ func Sort(diags []Diagnostic) {
 
 // All returns the project analyzers in their canonical order: the four
 // per-package syntactic checks, the CFG/dataflow WAR-hazard and
-// concurrency-safety passes, and the two interprocedural call-graph
+// concurrency-safety passes, and the three interprocedural call-graph
 // passes.
 func All() []*Analyzer {
-	return []*Analyzer{FloatPurity, NVMDiscipline, HotAlloc, ErrCheck, WARHazard, Parsafe, FloatFlow, AllocFlow}
+	return []*Analyzer{FloatPurity, NVMDiscipline, HotAlloc, ErrCheck, WARHazard, Parsafe, FloatFlow, AllocFlow, RegionBudget}
 }

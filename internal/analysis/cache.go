@@ -45,8 +45,9 @@ import (
 // missed packages — hit packages' findings come from the cache.
 
 // cacheSchema versions the entry format and key derivation; bump it
-// when either changes.
-const cacheSchema = "iprunelint-cache-v1"
+// when either changes. v2: regionbudget joins the analyzer set and its
+// interprocedural region summaries flow into cached diagnostics.
+const cacheSchema = "iprunelint-cache-v2"
 
 // Cache is an on-disk diagnostics cache keyed by content hashes.
 type Cache struct {
@@ -65,6 +66,10 @@ type Cache struct {
 type CacheStats struct {
 	Hits   int
 	Misses int
+	// Invalidated counts the subset of misses where a stored entry
+	// existed but no longer matched its key (changed sources, schema or
+	// analyzer set) — as opposed to cold misses with no entry at all.
+	Invalidated int
 	// Reanalyzed lists the import paths that missed, in input order.
 	Reanalyzed []string
 }
@@ -317,6 +322,7 @@ func (c *Cache) load(pkg *Package, key string) ([]Diagnostic, bool) {
 	}
 	var entry cacheEntry
 	if err := json.Unmarshal(data, &entry); err != nil || entry.Key != key {
+		c.Stats.Invalidated++ // an entry existed but is stale or corrupt
 		return nil, false
 	}
 	for i, d := range entry.Diags {
@@ -365,4 +371,14 @@ func (c *Cache) store(pkg *Package, key string, diags []Diagnostic) {
 // Summary is the one-line human accounting for stderr.
 func (s CacheStats) Summary(w io.Writer) {
 	fmt.Fprintf(w, "iprunelint: cache: %d reused, %d analyzed\n", s.Hits, s.Misses)
+}
+
+// Detail is the expanded accounting behind iprunelint -cachestats: the
+// hit/miss/invalidation counters plus which packages were re-analyzed.
+func (s CacheStats) Detail(w io.Writer) {
+	fmt.Fprintf(w, "iprunelint: cache: %d hit(s), %d miss(es), %d invalidation(s)\n",
+		s.Hits, s.Misses, s.Invalidated)
+	for _, path := range s.Reanalyzed {
+		fmt.Fprintf(w, "iprunelint: reanalyzed: %s\n", path)
+	}
 }

@@ -19,7 +19,7 @@ func cacheModule(t *testing.T) string {
 		"internal/tile/kernel.go": "package tile\n\nimport \"iprune/internal/fixed\"\n\n" +
 			"func Scale(x float64) float64 { return x * 1.5 }\n\n" +
 			"func Use(x int16) int16 { return fixed.Clamp(x) }\n",
-		"internal/nn/other.go": "package nn\n\n//iprune:hotpath\nfunc Hot(xs []int) []int {\n" +
+		"internal/nn/other.go": "package nn\n\n//iprune:allow-budget test kernel, cost not under test\n//iprune:hotpath\nfunc Hot(xs []int) []int {\n" +
 			"\tfor range xs {\n\t\txs = append(xs, 1)\n\t}\n\treturn xs\n}\n",
 	})
 }
@@ -105,7 +105,7 @@ func TestCacheInterproceduralInvalidation(t *testing.T) {
 	dir := writeModule(t, "iprune", map[string]string{
 		"internal/fixed/helper.go": "package fixed\n\nfunc Grow(xs []int) []int { return xs }\n",
 		"internal/tile/kernel.go": "package tile\n\nimport \"iprune/internal/fixed\"\n\n" +
-			"//iprune:hotpath\nfunc Hot(xs []int) []int {\n" +
+			"//iprune:allow-budget test kernel, cost not under test\n//iprune:hotpath\nfunc Hot(xs []int) []int {\n" +
 			"\tfor range xs {\n\t\txs = fixed.Grow(xs)\n\t}\n\treturn xs\n}\n",
 	})
 	cdir := filepath.Join(dir, ".cache")

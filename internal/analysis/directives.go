@@ -15,6 +15,14 @@ import (
 //	//iprune:allow-err <reason>    suppress errcheck findings
 //	//iprune:allow-war <reason>    suppress warhazard findings
 //	//iprune:allow-par <reason>    suppress parsafe findings
+//	//iprune:allow-budget <reason> suppress regionbudget findings; a
+//	                               blessed function is an audited cost
+//	                               boundary callers need not see past
+//	//iprune:budget <joules|ops>   declare a function's per-region energy
+//	                               budget (e.g. 104uJ, 2mJ, 5000ops);
+//	                               regionbudget checks the function
+//	                               against it instead of the default
+//	                               power-cycle buffer energy
 //	//iprune:hotpath               mark a function as a hot inner kernel
 //	//iprune:nvm                   mark a type or field as FRAM-backed
 //	//iprune:nvm-api               mark a function as discipline API
@@ -44,16 +52,18 @@ type Directive struct {
 // knownDirectives maps each directive name to whether a reason is
 // required.
 var knownDirectives = map[string]bool{
-	"allow-float": true,
-	"allow-nvm":   true,
-	"allow-alloc": true,
-	"allow-err":   true,
-	"allow-war":   true,
-	"allow-par":   true,
-	"hotpath":     false,
-	"nvm":         false,
-	"nvm-api":     false,
-	"preserve":    false,
+	"allow-float":  true,
+	"allow-nvm":    true,
+	"allow-alloc":  true,
+	"allow-err":    true,
+	"allow-war":    true,
+	"allow-par":    true,
+	"allow-budget": true,
+	"budget":       true, // the "reason" slot carries the budget value
+	"hotpath":      false,
+	"nvm":          false,
+	"nvm-api":      false,
+	"preserve":     false,
 }
 
 // Directives indexes every directive of a load by file, line and
@@ -89,6 +99,19 @@ func (d *Directives) LineHas(filename string, line int, name string) bool {
 // ObjHas reports whether the declared object carries the directive.
 func (d *Directives) ObjHas(obj types.Object, name string) bool {
 	return hasDirective(d.obj[obj], name)
+}
+
+// ObjGet returns the first directive with the given name on the declared
+// object. Analyzers that consume a directive's value (regionbudget reads
+// the budget expression out of //iprune:budget's reason slot) use this
+// instead of the boolean ObjHas.
+func (d *Directives) ObjGet(obj types.Object, name string) (Directive, bool) {
+	for _, dir := range d.obj[obj] {
+		if dir.Name == name {
+			return dir, true
+		}
+	}
+	return Directive{}, false
 }
 
 func hasDirective(dirs []Directive, name string) bool {

@@ -1,0 +1,269 @@
+package flow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Trip-count inference for counted loops: the piece of the static
+// region-cost story that turns "a loop body costs c" into "this loop
+// costs n·c". The analysis is deliberately narrow — a loop either
+// matches the classic counted shape with constant bounds and an
+// induction variable the body never touches, in which case its trip
+// count is exact, or it widens to ⊤ (unbounded) and the caller must
+// treat the loop as statically uncostable. No intervals, no symbolic
+// bounds: a wrong "bounded" answer here would let an over-budget region
+// through, so everything uncertain is ⊤.
+
+// tripLimit caps the magnitudes TripCount will do arithmetic on, so the
+// count math cannot overflow int64. Loops beyond it widen to ⊤ — a
+// counted loop with >2⁴⁰ iterations is unbounded for budget purposes
+// anyway.
+const tripLimit = int64(1) << 40
+
+// TripCount infers the exact iteration count of a for statement. It
+// succeeds only for the counted shape
+//
+//	for i := c0; i <op> c1; i@ { ... }
+//
+// where c0 and c1 are integer constants, <op> is one of < <= > >=
+// (either operand order), i@ is i++, i--, i += c or i -= c with a
+// positive constant c, and the body neither reassigns i nor takes its
+// address. Every other loop — missing condition, non-constant bound,
+// float induction, body writes to i — returns ok=false: ⊤.
+func TripCount(s *ast.ForStmt, info *types.Info) (n int64, ok bool) {
+	if s.Cond == nil {
+		return 0, false // for {}: unbounded by construction
+	}
+	iv, start, ok := inductionInit(s.Init, info)
+	if !ok {
+		return 0, false
+	}
+	limit, cmp, ok := inductionCond(s.Cond, iv, info)
+	if !ok {
+		return 0, false
+	}
+	step, up, ok := inductionPost(s.Post, iv, info)
+	if !ok {
+		return 0, false
+	}
+	if writesVar(s.Body, iv, info) {
+		return 0, false
+	}
+	return countTrips(start, limit, step, up, cmp)
+}
+
+// RangeTripCount infers the iteration count of a range statement whose
+// operand has a statically known length: an array (or pointer to
+// array), a constant string, or a constant integer (go1.22
+// range-over-int). Slices, maps, channels and function ranges widen to
+// ⊤ — their lengths are runtime facts.
+func RangeTripCount(s *ast.RangeStmt, info *types.Info) (n int64, ok bool) {
+	tv, found := info.Types[s.X]
+	if !found {
+		return 0, false
+	}
+	if tv.Value != nil {
+		switch tv.Value.Kind() {
+		case constant.Int:
+			v, exact := constant.Int64Val(tv.Value)
+			if exact && v >= 0 && v <= tripLimit {
+				return v, true
+			}
+		case constant.String:
+			// Ranging over a string yields runes; the byte length is an
+			// upper bound, which is the safe direction for a worst-case
+			// cost: never undercount.
+			return int64(len(constant.StringVal(tv.Value))), true
+		}
+		return 0, false
+	}
+	t := tv.Type
+	if t == nil {
+		return 0, false
+	}
+	u := t.Underlying()
+	if p, isPtr := u.(*types.Pointer); isPtr {
+		u = p.Elem().Underlying()
+	}
+	if arr, isArr := u.(*types.Array); isArr && arr.Len() >= 0 && arr.Len() <= tripLimit {
+		return arr.Len(), true
+	}
+	return 0, false
+}
+
+// inductionInit matches `i := c` or `i = c` with a single integer
+// constant and returns the induction variable's object.
+func inductionInit(init ast.Stmt, info *types.Info) (types.Object, int64, bool) {
+	as, isAssign := init.(*ast.AssignStmt)
+	if !isAssign || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, 0, false
+	}
+	if as.Tok != token.DEFINE && as.Tok != token.ASSIGN {
+		return nil, 0, false
+	}
+	id, isIdent := as.Lhs[0].(*ast.Ident)
+	if !isIdent {
+		return nil, 0, false
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return nil, 0, false
+	}
+	c, ok := intValue(as.Rhs[0], info)
+	if !ok {
+		return nil, 0, false
+	}
+	return obj, c, true
+}
+
+// inductionCond matches `i <op> c` or `c <op> i` and returns the bound
+// and the comparison normalized to have i on the left.
+func inductionCond(cond ast.Expr, iv types.Object, info *types.Info) (int64, token.Token, bool) {
+	be, isBinary := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBinary {
+		return 0, 0, false
+	}
+	flip := map[token.Token]token.Token{
+		token.LSS: token.GTR, token.GTR: token.LSS,
+		token.LEQ: token.GEQ, token.GEQ: token.LEQ,
+	}
+	if _, known := flip[be.Op]; !known {
+		return 0, 0, false
+	}
+	if isVar(be.X, iv, info) {
+		if c, ok := intValue(be.Y, info); ok {
+			return c, be.Op, true
+		}
+	}
+	if isVar(be.Y, iv, info) {
+		if c, ok := intValue(be.X, info); ok {
+			return c, flip[be.Op], true
+		}
+	}
+	return 0, 0, false
+}
+
+// inductionPost matches `i++`, `i--`, `i += c`, `i -= c` with c a
+// positive constant; up reports whether the variable increases.
+func inductionPost(post ast.Stmt, iv types.Object, info *types.Info) (step int64, up, ok bool) {
+	switch p := post.(type) {
+	case *ast.IncDecStmt:
+		if !isVar(p.X, iv, info) {
+			return 0, false, false
+		}
+		return 1, p.Tok == token.INC, true
+	case *ast.AssignStmt:
+		if len(p.Lhs) != 1 || len(p.Rhs) != 1 || !isVar(p.Lhs[0], iv, info) {
+			return 0, false, false
+		}
+		if p.Tok != token.ADD_ASSIGN && p.Tok != token.SUB_ASSIGN {
+			return 0, false, false
+		}
+		c, okc := intValue(p.Rhs[0], info)
+		if !okc || c <= 0 {
+			return 0, false, false
+		}
+		return c, p.Tok == token.ADD_ASSIGN, true
+	}
+	return 0, false, false
+}
+
+// countTrips solves the normalized counted loop: i starts at start,
+// moves by step toward up, runs while `i cmp limit` holds.
+func countTrips(start, limit, step int64, up bool, cmp token.Token) (int64, bool) {
+	if start < -tripLimit || start > tripLimit || limit < -tripLimit || limit > tripLimit {
+		return 0, false
+	}
+	holds := func(i int64) bool {
+		switch cmp {
+		case token.LSS:
+			return i < limit
+		case token.LEQ:
+			return i <= limit
+		case token.GTR:
+			return i > limit
+		case token.GEQ:
+			return i >= limit
+		}
+		return false
+	}
+	if !holds(start) {
+		return 0, true // zero-trip regardless of the step direction
+	}
+	// The step must move i toward the bound, or the loop never exits.
+	movesToward := (cmp == token.LSS || cmp == token.LEQ) == up
+	if !movesToward {
+		return 0, false
+	}
+	var span int64
+	switch cmp {
+	case token.LSS:
+		span = limit - start // > 0 here
+	case token.LEQ:
+		span = limit - start + 1
+	case token.GTR:
+		span = start - limit
+	case token.GEQ:
+		span = start - limit + 1
+	}
+	n := (span + step - 1) / step
+	return n, true
+}
+
+// writesVar reports whether any statement under root assigns to obj,
+// increments/decrements it, takes its address, or rebinds it as a range
+// variable — anything that breaks the induction arithmetic.
+func writesVar(root ast.Node, obj types.Object, info *types.Info) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isVar(lhs, obj, info) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if isVar(n.X, obj, info) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && isVar(n.X, obj, info) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isVar(n.Key, obj, info) || isVar(n.Value, obj, info) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isVar(e ast.Expr, obj types.Object, info *types.Info) bool {
+	if e == nil {
+		return false
+	}
+	id, isIdent := ast.Unparen(e).(*ast.Ident)
+	return isIdent && info.ObjectOf(id) == obj
+}
+
+// intValue evaluates e as an exact integer constant within tripLimit.
+func intValue(e ast.Expr, info *types.Info) (int64, bool) {
+	tv, found := info.Types[e]
+	if !found || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	if !exact || v < -tripLimit || v > tripLimit {
+		return 0, false
+	}
+	return v, true
+}

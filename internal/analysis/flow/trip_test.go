@@ -1,0 +1,164 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"testing"
+)
+
+// firstFor returns the first for/range statement in fn's body.
+func firstFor(fd *ast.FuncDecl) *ast.ForStmt {
+	var out *ast.ForStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		if fs, ok := n.(*ast.ForStmt); ok {
+			out = fs
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+func firstRange(fd *ast.FuncDecl) *ast.RangeStmt {
+	var out *ast.RangeStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			out = rs
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+func TestTripCountCounted(t *testing.T) {
+	cases := []struct {
+		loop string
+		n    int64
+		ok   bool
+	}{
+		{"for i := 0; i < 10; i++ { sink(i) }", 10, true},
+		{"for i := 0; i <= 10; i++ { sink(i) }", 11, true},
+		{"for i := 10; i > 0; i-- { sink(i) }", 10, true},
+		{"for i := 10; i >= 0; i-- { sink(i) }", 11, true},
+		{"for i := 0; i < 10; i += 3 { sink(i) }", 4, true},
+		{"for i := 20; i >= 3; i -= 4 { sink(i) }", 5, true},
+		{"for i := 2; i < 7; i++ { sink(i) }", 5, true},
+		{"for i := 0; 10 > i; i++ { sink(i) }", 10, true}, // reversed operands
+		{"for i := 0; 0 <= i; i++ { sink(i) }", 0, false}, // runs forever
+		{"for i := 5; i < 5; i++ { sink(i) }", 0, true},   // zero-trip
+		{"for i := 9; i < 5; i-- { sink(i) }", 0, true},   // false at entry
+		{"for i := 0; i < kConst; i++ { sink(i) }", 32, true},
+		{"for i := 0; i < 2*kConst; i++ { sink(i) }", 64, true},
+		// Widened shapes: every one of these must be ⊤.
+		{"for { sink(0); break }", 0, false},
+		{"for i := 0; i < bound(); i++ { sink(i) }", 0, false},  // dynamic limit
+		{"for i := bound(); i < 10; i++ { sink(i) }", 0, false}, // dynamic start
+		{"for i := 0; i < 10; i += bound() { sink(i) }", 0, false},
+		{"for i := 0; i != 10; i++ { sink(i) }", 0, false}, // != not handled
+		{"for i := 0; i < 10; i++ { i = 3 }", 0, false},    // body writes i
+		{"for i := 0; i < 10; i++ { sink2(&i) }", 0, false},
+		{"for i := 0; i < 10; i++ { f := func() { i++ }; f() }", 0, false},
+		{"for i := 0; i < 10; i *= 2 { sink(i) }", 0, false}, // non-linear
+		{"for i := 0; i < 10; i -= 1 { sink(i) }", 0, false}, // moves away
+		{"for i := 0.0; i < 10; i++ { _ = i }", 0, false},    // float induction
+	}
+	for idx, c := range cases {
+		src := fmt.Sprintf(`package p
+const kConst = 32
+func sink(int) {}
+func sink2(*int) {}
+func bound() int { return 3 }
+func f() {
+	%s
+}
+`, c.loop)
+		fd, info, _ := compile(t, src, "f")
+		fs := firstFor(fd)
+		if fs == nil {
+			t.Fatalf("case %d: no for statement in %q", idx, c.loop)
+		}
+		n, ok := TripCount(fs, info)
+		if ok != c.ok || (ok && n != c.n) {
+			t.Errorf("case %d %q: TripCount = (%d, %v), want (%d, %v)", idx, c.loop, n, ok, c.n, c.ok)
+		}
+	}
+}
+
+func TestRangeTripCount(t *testing.T) {
+	cases := []struct {
+		loop string
+		n    int64
+		ok   bool
+	}{
+		{"for range 8 { sink(0) }", 8, true},
+		{"for i := range 8 { sink(i) }", 8, true},
+		{"for i := range arr { sink(i) }", 5, true},
+		{"for i := range &arr { sink(i) }", 5, true},
+		{"for range kConst { sink(0) }", 32, true},
+		{`for range "hello" { sink(0) }`, 5, true},
+		{"for i := range sl { sink(i) }", 0, false}, // slice: dynamic
+		{"for k := range mp { sink(k) }", 0, false}, // map: dynamic
+		{"for range bound() { sink(0) }", 0, false}, // dynamic int
+	}
+	for idx, c := range cases {
+		src := fmt.Sprintf(`package p
+const kConst = 32
+var arr [5]int
+var sl []int
+var mp map[int]int
+func sink(int) {}
+func bound() int { return 3 }
+func f() {
+	%s
+}
+`, c.loop)
+		fd, info, _ := compile(t, src, "f")
+		rs := firstRange(fd)
+		if rs == nil {
+			t.Fatalf("case %d: no range statement in %q", idx, c.loop)
+		}
+		n, ok := RangeTripCount(rs, info)
+		if ok != c.ok || (ok && n != c.n) {
+			t.Errorf("case %d %q: RangeTripCount = (%d, %v), want (%d, %v)", idx, c.loop, n, ok, c.n, c.ok)
+		}
+	}
+}
+
+func TestTripCountNested(t *testing.T) {
+	// Outer and inner both counted; inner's count must not be disturbed
+	// by the outer variable, and vice versa.
+	src := `package p
+func sink(int) {}
+func f() {
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			sink(i + j)
+		}
+	}
+}
+`
+	fd, info, _ := compile(t, src, "f")
+	var loops []*ast.ForStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fs, ok := n.(*ast.ForStmt); ok {
+			loops = append(loops, fs)
+		}
+		return true
+	})
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	if n, ok := TripCount(loops[0], info); !ok || n != 6 {
+		t.Errorf("outer: (%d, %v), want (6, true)", n, ok)
+	}
+	if n, ok := TripCount(loops[1], info); !ok || n != 4 {
+		t.Errorf("inner: (%d, %v), want (4, true)", n, ok)
+	}
+}

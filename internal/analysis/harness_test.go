@@ -131,6 +131,7 @@ func TestWARHazardFixture(t *testing.T)     { runFixture(t, WARHazard, "warhazar
 func TestParsafeFixture(t *testing.T)       { runFixture(t, Parsafe, "parsafe") }
 func TestFloatFlowFixture(t *testing.T)     { runFixture(t, FloatFlow, "floatflow") }
 func TestAllocFlowFixture(t *testing.T)     { runFixture(t, AllocFlow, "allocflow") }
+func TestRegionBudgetFixture(t *testing.T)  { runFixture(t, RegionBudget, "regionbudget") }
 
 // TestDirectivesFixture exercises the directive parser's own findings
 // (unknown names with did-you-mean suggestions) through the same
@@ -145,7 +146,7 @@ func TestDirectivesFixture(t *testing.T) {
 // but declares nothing would vacuously pass.
 func TestFixturesNonEmpty(t *testing.T) {
 	for _, name := range []string{"floatpurity", "nvmdiscipline", "hotalloc", "errcheck",
-		"warhazard", "parsafe", "floatflow", "allocflow", "directives"} {
+		"warhazard", "parsafe", "floatflow", "allocflow", "regionbudget", "directives"} {
 		pkg, _ := loadFixture(t, name)
 		if len(fixtureFuncNames(pkg)) == 0 {
 			t.Errorf("fixture %s declares no functions", name)

@@ -136,80 +136,110 @@ func summarize(mp *ModulePass) ([]*funcSummary, map[*types.Func]*funcSummary) {
 	return order, index
 }
 
-// devirtualize resolves the recorded interface-method call sites into
-// concrete call edges via class-hierarchy analysis over the module's
-// own types (see the package comment for the scoping rules).
-func devirtualize(mp *ModulePass, order []*funcSummary, index map[*types.Func]*funcSummary) {
-	modulePkgs := make(map[*types.Package]bool, len(mp.Pkgs))
-	for _, pkg := range mp.Pkgs {
+// devirtualizer resolves interface-method calls to the module types
+// implementing them via class-hierarchy analysis (see the package
+// comment for the scoping rules). It is shared by the interprocedural
+// flow passes and the regionbudget analyzer so every pass prices the
+// same devirtualized call graph.
+type devirtualizer struct {
+	pkgs       []*Package
+	modulePkgs map[*types.Package]bool
+	hasBody    func(*types.Func) bool
+	memo       map[*types.Func][]*types.Func
+}
+
+// newDevirtualizer builds a resolver over the module's packages; hasBody
+// filters out implementations (promoted methods, externals) the caller
+// has no summary for.
+func newDevirtualizer(pkgs []*Package, hasBody func(*types.Func) bool) *devirtualizer {
+	modulePkgs := make(map[*types.Package]bool, len(pkgs))
+	for _, pkg := range pkgs {
 		if pkg.Types != nil {
 			modulePkgs[pkg.Types] = true
 		}
 	}
-	memo := map[*types.Func][]*types.Func{}
-	resolve := func(m *types.Func) []*types.Func {
-		if impls, ok := memo[m]; ok {
-			return impls
-		}
-		memo[m] = nil
-		sig, ok := m.Type().(*types.Signature)
-		if !ok || sig.Recv() == nil {
-			return nil
-		}
-		named, _ := sig.Recv().Type().(*types.Named)
-		if named == nil || named.Obj().Pkg() == nil || !modulePkgs[named.Obj().Pkg()] {
-			return nil // anonymous or non-module interface: stay conservative
-		}
-		iface, ok := named.Underlying().(*types.Interface)
-		if !ok {
-			return nil
-		}
-		var impls []*types.Func
-		seen := map[*types.Func]bool{}
-		for _, pkg := range mp.Pkgs {
-			if pkg.Types == nil {
-				continue
-			}
-			scope := pkg.Types.Scope()
-			for _, name := range scope.Names() {
-				tn, ok := scope.Lookup(name).(*types.TypeName)
-				if !ok || tn.IsAlias() {
-					continue
-				}
-				T := tn.Type()
-				if types.IsInterface(T) {
-					continue
-				}
-				var recv types.Type
-				switch {
-				case types.Implements(T, iface):
-					recv = T
-				case types.Implements(types.NewPointer(T), iface):
-					recv = types.NewPointer(T)
-				default:
-					continue
-				}
-				obj, _, _ := types.LookupFieldOrMethod(recv, true, tn.Pkg(), m.Name())
-				fn, ok := obj.(*types.Func)
-				if !ok || seen[fn] {
-					continue
-				}
-				if _, hasBody := index[fn]; !hasBody {
-					continue // promoted from outside the module: no summary
-				}
-				seen[fn] = true
-				impls = append(impls, fn)
-			}
-		}
-		if len(impls) > devirtMaxImpls {
-			impls = nil // open plug-in surface: leave unresolved
-		}
-		memo[m] = impls
+	return &devirtualizer{
+		pkgs:       pkgs,
+		modulePkgs: modulePkgs,
+		hasBody:    hasBody,
+		memo:       map[*types.Func][]*types.Func{},
+	}
+}
+
+// resolve returns the module implementations of one interface method, or
+// nil when the call must stay unresolved (non-module interface, or a
+// plug-in surface wider than devirtMaxImpls).
+func (dv *devirtualizer) resolve(m *types.Func) []*types.Func {
+	if impls, ok := dv.memo[m]; ok {
 		return impls
 	}
+	dv.memo[m] = nil
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	named, _ := sig.Recv().Type().(*types.Named)
+	if named == nil || named.Obj().Pkg() == nil || !dv.modulePkgs[named.Obj().Pkg()] {
+		return nil // anonymous or non-module interface: stay conservative
+	}
+	iface, ok := named.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var impls []*types.Func
+	seen := map[*types.Func]bool{}
+	for _, pkg := range dv.pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			T := tn.Type()
+			if types.IsInterface(T) {
+				continue
+			}
+			var recv types.Type
+			switch {
+			case types.Implements(T, iface):
+				recv = T
+			case types.Implements(types.NewPointer(T), iface):
+				recv = types.NewPointer(T)
+			default:
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(recv, true, tn.Pkg(), m.Name())
+			fn, ok := obj.(*types.Func)
+			if !ok || seen[fn] {
+				continue
+			}
+			if !dv.hasBody(fn) {
+				continue // promoted from outside the module: no summary
+			}
+			seen[fn] = true
+			impls = append(impls, fn)
+		}
+	}
+	if len(impls) > devirtMaxImpls {
+		impls = nil // open plug-in surface: leave unresolved
+	}
+	dv.memo[m] = impls
+	return impls
+}
+
+// devirtualize resolves the recorded interface-method call sites into
+// concrete call edges.
+func devirtualize(mp *ModulePass, order []*funcSummary, index map[*types.Func]*funcSummary) {
+	dv := newDevirtualizer(mp.Pkgs, func(fn *types.Func) bool {
+		_, ok := index[fn]
+		return ok
+	})
 	for _, s := range order {
 		for _, ic := range s.ifaceCalls {
-			for _, impl := range resolve(ic.method) {
+			for _, impl := range dv.resolve(ic.method) {
 				s.edges = append(s.edges, callEdge{callee: impl, pos: ic.pos, inLoop: ic.inLoop, via: ic.method})
 			}
 		}

@@ -1,0 +1,134 @@
+package analysis
+
+import "testing"
+
+// The regionbudget fixture exercises the analyzer end to end; these
+// tests pin the summary algebra's corner cases directly, where getting
+// a max/add wrong would silently under-count a region (the one failure
+// mode the analyzer must not have).
+
+func TestRcostSaturation(t *testing.T) {
+	big := ops(rcostCap)
+	if got := big.add(ops(1)); got.top || got.n != rcostCap {
+		t.Errorf("add past cap = %+v, want saturated", got)
+	}
+	if got := big.mul(1 << 20); got.top || got.n != rcostCap {
+		t.Errorf("mul past cap = %+v, want saturated", got)
+	}
+	if got := topCost.add(ops(1)); !got.top {
+		t.Errorf("top+1 = %+v, want top", got)
+	}
+	if got := ops(5).max(topCost); !got.top {
+		t.Errorf("max(5, top) = %+v, want top", got)
+	}
+}
+
+func TestSeqCrossRegion(t *testing.T) {
+	// a preserves (tail 3), b preserves (head 4): the cross region is
+	// a.tail + b.head = 7, and the composite must-preserves.
+	a := seq(seq(leaf(ops(2)), boundary(ops(1))), leaf(ops(3)))
+	b := seq(seq(leaf(ops(4)), boundary(ops(1))), leaf(ops(5)))
+	s := seq(a, b)
+	if !s.must || !s.any {
+		t.Fatalf("must/any = %v/%v", s.must, s.any)
+	}
+	if s.head.n != 3 { // 2 + boundary head 1
+		t.Errorf("head = %+v, want 3", s.head)
+	}
+	if s.tail.n != 5 {
+		t.Errorf("tail = %+v, want 5", s.tail)
+	}
+	// tail of a (3) + head of b (4 + boundary 1) = 8.
+	if s.maxMid.n != 8 {
+		t.Errorf("maxMid = %+v, want 8", s.maxMid)
+	}
+}
+
+func TestSeqPreserveFreePassThrough(t *testing.T) {
+	// a does not preserve: its cost prefixes b's head.
+	a := leaf(ops(10))
+	b := seq(leaf(ops(4)), boundary(ops(0)))
+	s := seq(a, b)
+	if s.head.n != 14 {
+		t.Errorf("head = %+v, want 14", s.head)
+	}
+	if !s.must {
+		t.Error("b preserves on every path; composite must too")
+	}
+}
+
+func TestAltTakesWorst(t *testing.T) {
+	withPreserve := seq(seq(leaf(ops(2)), boundary(ops(0))), leaf(ops(9)))
+	without := leaf(ops(6))
+	s := alt(withPreserve, without)
+	if s.must {
+		t.Error("one arm is preserve-free; must cannot hold")
+	}
+	if !s.any {
+		t.Error("one arm preserves; any must hold")
+	}
+	if s.tail.n != 9 || s.nopres.n != 6 {
+		t.Errorf("tail/nopres = %+v/%+v", s.tail, s.nopres)
+	}
+}
+
+func TestLoopSummaryShapes(t *testing.T) {
+	plain := leaf(ops(7))
+	if s, ok := loopSummary(plain, 5); !ok || s.nopres.n != 35 || s.any {
+		t.Errorf("counted preserve-free loop = %+v ok=%v", s, ok)
+	}
+	if _, ok := loopSummary(plain, -1); ok {
+		t.Error("unknown-trip preserve-free loop must widen")
+	}
+
+	// A must-preserve body with unknown trips stays bounded: the worst
+	// region is the wraparound tail+head.
+	body := seq(seq(leaf(ops(3)), boundary(ops(1))), leaf(ops(2)))
+	s, ok := loopSummary(body, -1)
+	if !ok {
+		t.Fatal("must-preserve unbounded loop widened")
+	}
+	if s.must {
+		t.Error("an unknown trip count may be zero; must cannot hold")
+	}
+	if want := int64(3 + 1 + 2); s.maxMid.n != want {
+		t.Errorf("wraparound region = %+v, want %d", s.maxMid, want)
+	}
+	if w := s.worst(); w.top || w.n != 6 {
+		t.Errorf("worst = %+v, want 6", w)
+	}
+
+	// A may-preserve body with a known count bounds regions by spanning
+	// every preserve-free iteration.
+	may := alt(body, leaf(ops(10)))
+	s, ok = loopSummary(may, 4)
+	if !ok {
+		t.Fatal("may-preserve counted loop widened")
+	}
+	if s.must {
+		t.Error("may-preserve loop cannot be must")
+	}
+	// span = 4×10; worst region = tail(2) + span + head(4).
+	if want := int64(2 + 40 + 4); s.maxMid.n != want {
+		t.Errorf("maxMid = %+v, want %d", s.maxMid, want)
+	}
+	if _, ok := loopSummary(may, -1); ok {
+		t.Error("may-preserve unknown-trip loop must widen")
+	}
+
+	// Zero trips erase the body entirely.
+	if s, ok := loopSummary(body, 0); !ok || s.any || s.worst().n != 0 {
+		t.Errorf("zero-trip loop = %+v ok=%v", s, ok)
+	}
+}
+
+func TestWorstCoversPreserveFreeFunctions(t *testing.T) {
+	s := leaf(ops(42))
+	if w := s.worst(); w.n != 42 {
+		t.Errorf("preserve-free worst = %+v, want 42", w)
+	}
+	mustS := seq(leaf(ops(2)), boundary(ops(0)))
+	if w := mustS.worst(); w.n != 2 {
+		t.Errorf("must worst = %+v, want head 2", w)
+	}
+}

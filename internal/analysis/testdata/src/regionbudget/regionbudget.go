@@ -1,0 +1,177 @@
+// Package regionbudget exercises the static region-cost analyzer: trip
+// counts, preserve boundaries, declared budgets, suppression and the
+// devirtualized interprocedural summaries.
+package regionbudget
+
+// commit is the region boundary: an atomic preservation primitive.
+//
+//iprune:preserve
+func commit() {}
+
+// unbounded runs data-dependent work with no preservation point: the
+// region from the caller's last preserve spans the whole loop, and no
+// static bound exists.
+//
+//iprune:hotpath
+func unbounded(n int) int { // want `cannot statically bound the worst-case preserve-to-preserve region in unbounded`
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+// eventLoop preserves every iteration: even with an unknown trip count,
+// the worst region is the bounded wraparound tail+head, so the function
+// is clean.
+//
+//iprune:hotpath
+func eventLoop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+		commit()
+	}
+	return s
+}
+
+// nestedCounted's trip-count product (100×100, ~40k ops ≈ 8uJ) fits the
+// default power-cycle budget comfortably.
+//
+//iprune:hotpath
+func nestedCounted() int {
+	s := 0
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 100; j++ {
+			s += i * j
+		}
+	}
+	return s
+}
+
+// overDefault's 200³ nest needs ~40M ops ≈ 7.5mJ, far past the 104uJ
+// one power cycle delivers.
+//
+//iprune:hotpath
+func overDefault() int { // want `worst-case preserve-to-preserve region in overDefault needs .* exceeding one power cycle's buffer energy`
+	s := 0
+	for i := 0; i < 200; i++ {
+		for j := 0; j < 200; j++ {
+			for k := 0; k < 200; k++ {
+				s += i + j + k
+			}
+		}
+	}
+	return s
+}
+
+// exactlyMet pins the op pricing byte for byte: init (1) + outer assign
+// (1) + 10×(cond 1 + body 2 + post 1) + exit cond (1) = 43 ops, and the
+// declared budget is exactly 43.
+//
+//iprune:budget 43ops
+func exactlyMet() int {
+	x := 0
+	for i := 0; i < 10; i++ {
+		x = x + 1
+	}
+	return x
+}
+
+// justOver is the same 43-op body against a 42-op budget: one op over.
+//
+//iprune:budget 42ops
+func justOver() int { // want `region in justOver needs ~43 ops .* exceeding the declared budget 42ops`
+	x := 0
+	for i := 0; i < 10; i++ {
+		x = x + 1
+	}
+	return x
+}
+
+// suppressed carries the audited-boundary blessing: the same unbounded
+// shape as unbounded() above, but no finding.
+//
+//iprune:allow-budget trip count is calibrated off-line; the region is cut by the caller's commit cadence
+//iprune:hotpath
+func suppressed(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+// callsSuppressed sees suppressed() as an audited zero-ish-cost
+// boundary: the blessing vouches for the interior, so the caller stays
+// clean.
+//
+//iprune:hotpath
+func callsSuppressed() int {
+	return suppressed(1000)
+}
+
+// recur has no static bound: the cycle is reported as the widening
+// witness.
+//
+//iprune:hotpath
+func recur(n int) int { // want `cannot statically bound .* recursive call cycle through recur`
+	if n == 0 {
+		return 0
+	}
+	return recur(n - 1)
+}
+
+// unit is priced at its declared budget when called, and its own body
+// (43 ops) is checked against that budget at this declaration.
+//
+//iprune:budget 50ops
+func unit() int {
+	s := 0
+	for i := 0; i < 10; i++ {
+		s += i
+	}
+	return s
+}
+
+// callsUnit prices each unit() call as an opaque 50-op block: call
+// overhead 1 + 50, twice, plus the add and return — over its 60-op
+// budget even though unit's real cost is lower.
+//
+//iprune:budget 60ops
+func callsUnit() int { // want `region in callsUnit needs .* exceeding the declared budget 60ops`
+	return unit() + unit()
+}
+
+// badBudget's value does not parse.
+//
+//iprune:budget banana
+func badBudget() {} // want `invalid //iprune:budget value "banana"`
+
+// stepper is a module interface: calls through it devirtualize to every
+// implementation, and the caller is charged the worst one.
+type stepper interface {
+	step(x int) int
+}
+
+type cheap struct{}
+
+func (cheap) step(x int) int { return x + 1 }
+
+type costly struct{}
+
+func (costly) step(x int) int {
+	s := x
+	for i := 0; i < 300; i++ {
+		s += i
+	}
+	return s
+}
+
+// viaInterface's s.step(1) fans out to {cheap, costly}.step; the costly
+// implementation's ~1.2k ops bust the 100-op budget.
+//
+//iprune:budget 100ops
+func viaInterface(s stepper) int { // want `region in viaInterface needs .* exceeding the declared budget 100ops`
+	return s.step(1)
+}

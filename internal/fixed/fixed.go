@@ -128,6 +128,7 @@ func sat32(s int32) Q15 {
 // command implements.
 //
 //iprune:hotpath
+//iprune:allow-budget vector length is a tile dimension the planner sizes to the VM buffer; CostSim prices the resulting op against the power-cycle budget dynamically
 func DotQ15(a, b []Q15) Q15 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("fixed: dot length mismatch %d vs %d", len(a), len(b)))

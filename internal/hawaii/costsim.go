@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"iprune/internal/device"
+	"iprune/internal/energy"
 	"iprune/internal/nn"
 	"iprune/internal/obs"
 	"iprune/internal/power"
@@ -60,6 +61,7 @@ type Op struct {
 // drift apart.
 //
 //iprune:hotpath
+//iprune:allow-budget host-side schedule construction; it plans power-cycle regions but never executes inside one
 func BuildSchedule(spec *tile.LayerSpec, mask *nn.BlockMask, mode tile.Mode, cfg tile.Config) []Op {
 	if mask != nil && (mask.Rows != spec.M || mask.Cols != spec.K || mask.BM != spec.TM || mask.BK != spec.TK) {
 		panic(fmt.Sprintf("hawaii: mask geometry does not match spec for %s", spec.Name))
@@ -178,33 +180,23 @@ func NewCostSim(cfg tile.Config) *CostSim {
 // opCost returns the latency, energy and breakdown attribution of one op.
 // Reads happen first (DMA), then the accelerator runs while the previous
 // outputs stream out — compute and preservation are pipelined (paper
-// Section III-B), so the exposed time is max(compute, write).
+// Section III-B), so the exposed time is max(compute, write). The pricing
+// itself lives in energy.Model.OpCost — the one table the regionbudget
+// static analyzer also reads — so the simulator and the analyzer can
+// never disagree about what an op costs; only the Breakdown attribution
+// (which pipeline stage the exposed time is charged to) is local.
 //
 //iprune:allow-float analytic cost model integrates seconds and joules, not device numerics
 func (cs *CostSim) opCost(op *Op, mode tile.Mode) (t, e float64, b Breakdown) {
 	d := &cs.Dev
 	readBytes := op.WeightRead + op.InputRead
+	overlapped := mode == tile.Intermittent && !op.SerialWrite
+	t, e = energy.Model{Dev: cs.Dev}.OpCost(op.MACs, readBytes, op.OutWrite+op.IndWrite, overlapped)
 	readT := d.TransferTime(readBytes, false)
 	compT := d.ComputeTime(op.MACs)
 	var writeT float64
 	if op.OutWrite+op.IndWrite > 0 {
 		writeT = d.TransferTime(op.OutWrite+op.IndWrite, true)
-	}
-	exposed := compT
-	if mode == tile.Intermittent && !op.SerialWrite && writeT > exposed {
-		exposed = writeT
-	}
-	if mode == tile.Continuous || op.SerialWrite {
-		// Conventional flow and task-level preservation write results
-		// after the compute finishes, unoverlapped.
-		exposed = compT + writeT
-	}
-	t = d.OpOverheadTime + readT + exposed
-	e = d.BasePower*t +
-		d.ComputeEnergy(op.MACs) +
-		d.TransferEnergyOf(readBytes, false)
-	if op.OutWrite+op.IndWrite > 0 {
-		e += d.TransferEnergyOf(op.OutWrite+op.IndWrite, true)
 	}
 	b.ReadTime = readT
 	b.OverheadTime = d.OpOverheadTime
@@ -233,17 +225,39 @@ func (cs *CostSim) opCost(op *Op, mode tile.Mode) (t, e float64, b Breakdown) {
 //
 //iprune:allow-float analytic cost model integrates seconds and joules, not device numerics
 func (cs *CostSim) recoveryCost(op *Op) (t, e float64) {
-	d := &cs.Dev
 	idxBytes := int64(cs.Cfg.IndicatorBytes) + 2*2
-	refetch := op.RefetchBytes
-	t = d.RebootTime + d.TransferTime(idxBytes, false) + d.TransferTime(refetch, false)
-	e = d.RebootEnergy + d.BasePower*t + d.TransferEnergyOf(idxBytes, false) + d.TransferEnergyOf(refetch, false)
-	return t, e
+	return energy.Model{Dev: cs.Dev}.RecoveryCost(idxBytes, op.RefetchBytes)
+}
+
+// ErrOpExceedsBuffer reports that a single op (or its recovery path)
+// draws more energy than one full buffer charge supplies, so the
+// schedule can never make progress under the given supply: the device
+// would brown out at the same point on every retry. The regionbudget
+// static analyzer exists to catch the source-level analogue of this
+// condition before a deployment ever hits it at runtime.
+type ErrOpExceedsBuffer struct {
+	Op       int     // schedule index of the stuck op
+	Supply   string  // supply name
+	Recovery bool    // true if the recovery path, not the op itself, is stuck
+	Energy   float64 // joules the stuck step needs in one charge
+	Buffer   float64 // usable joules per charge
+}
+
+func (e *ErrOpExceedsBuffer) Error() string {
+	what := "op"
+	if e.Recovery {
+		what = "recovery for op"
+	}
+	return fmt.Sprintf("hawaii: %s %d cannot complete under %s supply: needs %s in one power cycle but the buffer supplies %s",
+		what, e.Op, e.Supply, energy.FormatJ(e.Energy), energy.FormatJ(e.Buffer))
 }
 
 // Run simulates one end-to-end inference of the schedule under the given
-// execution mode and supply. seed controls harvest jitter.
-func (cs *CostSim) Run(ops []Op, mode tile.Mode, sup power.Supply, seed int64) Result {
+// execution mode and supply. seed controls harvest jitter. A non-nil
+// error is *ErrOpExceedsBuffer: the schedule contains an op that can
+// never fit one buffer charge, and the partial Result covers the work
+// committed before the stuck op.
+func (cs *CostSim) Run(ops []Op, mode tile.Mode, sup power.Supply, seed int64) (Result, error) {
 	return cs.RunWithSim(ops, mode, power.NewSim(power.DefaultBuffer(), sup, seed))
 }
 
@@ -252,7 +266,7 @@ func (cs *CostSim) Run(ops []Op, mode tile.Mode, sup power.Supply, seed int64) R
 // custom buffers.
 //
 //iprune:allow-float analytic cost model integrates seconds and joules, not device numerics
-func (cs *CostSim) RunWithSim(ops []Op, mode tile.Mode, sim *power.Sim) Result {
+func (cs *CostSim) RunWithSim(ops []Op, mode tile.Mode, sim *power.Sim) (Result, error) {
 	sup := sim.Supply
 	if mode == tile.Continuous && !sup.Continuous {
 		panic("hawaii: the conventional data-reuse flow cannot survive power failures (Section II-B); use Intermittent mode with a harvested supply")
@@ -317,7 +331,12 @@ func (cs *CostSim) RunWithSim(ops []Op, mode tile.Mode, sim *power.Sim) Result {
 				res.Latency += off
 				retries++
 				if retries > maxRetries {
-					panic(fmt.Sprintf("hawaii: op %d cannot complete recovery under %s supply; buffer too small for the profile", i, sup.Name))
+					res.Energy = sim.EnergyUsed
+					res.Failures = sim.Failures
+					return res, &ErrOpExceedsBuffer{
+						Op: i, Supply: sup.Name, Recovery: true,
+						Energy: re, Buffer: sim.Buffer.UsableEnergy(),
+					}
 				}
 			}
 			if traced {
@@ -332,7 +351,12 @@ func (cs *CostSim) RunWithSim(ops []Op, mode tile.Mode, sim *power.Sim) Result {
 			res.Break.RecoveryTime += rt
 			retries++
 			if retries > maxRetries {
-				panic(fmt.Sprintf("hawaii: op %d cannot complete under %s supply; its single-op energy exceeds the buffer", i, sup.Name))
+				res.Energy = sim.EnergyUsed
+				res.Failures = sim.Failures
+				return res, &ErrOpExceedsBuffer{
+					Op: i, Supply: sup.Name,
+					Energy: e, Buffer: sim.Buffer.UsableEnergy(),
+				}
 			}
 		}
 		if traced {
@@ -363,11 +387,11 @@ func (cs *CostSim) RunWithSim(ops []Op, mode tile.Mode, sim *power.Sim) Result {
 	}
 	res.Energy = sim.EnergyUsed
 	res.Failures = sim.Failures
-	return res
+	return res, nil
 }
 
 // RunNetwork is a convenience wrapper: schedule + Run from a network's
 // current masks.
-func (cs *CostSim) RunNetwork(net *nn.Network, specs []tile.LayerSpec, mode tile.Mode, sup power.Supply, seed int64) Result {
+func (cs *CostSim) RunNetwork(net *nn.Network, specs []tile.LayerSpec, mode tile.Mode, sup power.Supply, seed int64) (Result, error) {
 	return cs.Run(ScheduleFromNetwork(net, specs, mode, cs.Cfg), mode, sup, seed)
 }

@@ -58,8 +58,8 @@ func TestTaskLevelLosesUnderWeakPower(t *testing.T) {
 	cs := NewCostSim(cfg)
 	jobOps := ScheduleFromNetwork(net, specs, tile.Intermittent, cfg)
 	tasks := TaskScheduleFromNetwork(net, specs, cfg)
-	job := cs.Run(jobOps, tile.Intermittent, power.WeakPower, 1)
-	task := cs.Run(tasks, tile.Intermittent, power.WeakPower, 1)
+	job := mustRun(t, cs, jobOps, tile.Intermittent, power.WeakPower, 1)
+	task := mustRun(t, cs, tasks, tile.Intermittent, power.WeakPower, 1)
 	if task.Latency <= job.Latency {
 		t.Errorf("task-level %.4fs should be slower than job-level %.4fs under weak power",
 			task.Latency, job.Latency)
@@ -74,7 +74,7 @@ func TestTaskLevelCompletesUnderContinuousPower(t *testing.T) {
 	net, specs, cfg := buildNet(33)
 	cs := NewCostSim(cfg)
 	tasks := TaskScheduleFromNetwork(net, specs, cfg)
-	res := cs.Run(tasks, tile.Intermittent, power.ContinuousPower, 1)
+	res := mustRun(t, cs, tasks, tile.Intermittent, power.ContinuousPower, 1)
 	if res.Failures != 0 || res.Latency <= 0 {
 		t.Errorf("continuous task run: failures=%d latency=%v", res.Failures, res.Latency)
 	}

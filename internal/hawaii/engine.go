@@ -348,6 +348,7 @@ func pow2(n int) float64 {
 // commitAct. A failure before the commit simply recomputes.
 //
 //iprune:hotpath
+//iprune:allow-budget one recomputable step over a layer-sized activation; the layer fits the VM working set by construction and commitAct cuts the region
 func (e *Engine) runCPUStage(li int, inj FailureInjector, stats *ExecStats) (failed bool, err error) {
 	in := e.nvm.acts[li-1]
 	shift := e.nvm.actShifts[li-1]
@@ -414,6 +415,7 @@ func (e *Engine) runCPUStage(li int, inj FailureInjector, stats *ExecStats) (fai
 // the interrupted op.
 //
 //iprune:hotpath
+//iprune:allow-budget the op loop preserves job cursors after every accelerator op; op sizes are plan-dependent and CostSim checks each against the buffer (ErrOpExceedsBuffer)
 func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool, stats *ExecStats) (failed bool, err error) {
 	spec := &e.Specs[pi]
 	lw := &e.Model.Layers[pi]
@@ -577,6 +579,7 @@ func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool
 // so block-parallel execution can shard calls across row strips.
 //
 //iprune:hotpath
+//iprune:allow-budget block dimensions come from the tile plan, which sizes every op to the VM budget; one block never spans a preservation boundary
 func accumulateBlock(dst, src, col, block []fixed.Q15,
 	first bool, r0, rm, n0, tn, k0, kk, n, bk, wShift, inShift, outShift int) {
 	for r := 0; r < rm; r++ {

@@ -1,10 +1,14 @@
 package hawaii
 
 import (
+	"errors"
+	"strings"
+
 	"math"
 	"math/rand"
 	"testing"
 
+	"iprune/internal/energy"
 	"iprune/internal/nn"
 	"iprune/internal/power"
 	"iprune/internal/tensor"
@@ -26,6 +30,37 @@ func buildNet(seed int64) (*nn.Network, []tile.LayerSpec, tile.Config) {
 	specs := tile.SpecsFromNetwork(n, cfg)
 	tile.InstallMasks(n, specs)
 	return n, specs, cfg
+}
+
+// The must* helpers run the cost sim and fail the test if the schedule
+// cannot complete (ErrOpExceedsBuffer) — none of these fixtures should
+// ever exceed the buffer.
+
+func mustRun(t *testing.T, cs *CostSim, ops []Op, mode tile.Mode, sup power.Supply, seed int64) Result {
+	t.Helper()
+	res, err := cs.Run(ops, mode, sup, seed)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func mustRunWithSim(t *testing.T, cs *CostSim, ops []Op, mode tile.Mode, sim *power.Sim) Result {
+	t.Helper()
+	res, err := cs.RunWithSim(ops, mode, sim)
+	if err != nil {
+		t.Fatalf("RunWithSim: %v", err)
+	}
+	return res
+}
+
+func mustRunNetwork(t *testing.T, cs *CostSim, net *nn.Network, specs []tile.LayerSpec, mode tile.Mode, sup power.Supply, seed int64) Result {
+	t.Helper()
+	res, err := cs.RunNetwork(net, specs, mode, sup, seed)
+	if err != nil {
+		t.Fatalf("RunNetwork: %v", err)
+	}
+	return res
 }
 
 func pruneSome(net *nn.Network, every int) {
@@ -83,7 +118,7 @@ func TestScheduleSkipsPrunedBlocks(t *testing.T) {
 func TestCostSimContinuousSupplyNeverFails(t *testing.T) {
 	net, specs, cfg := buildNet(3)
 	cs := NewCostSim(cfg)
-	res := cs.RunNetwork(net, specs, tile.Intermittent, power.ContinuousPower, 1)
+	res := mustRunNetwork(t, cs, net, specs, tile.Intermittent, power.ContinuousPower, 1)
 	if res.Failures != 0 || res.OffTime != 0 {
 		t.Errorf("continuous supply: failures=%d off=%v", res.Failures, res.OffTime)
 	}
@@ -98,9 +133,9 @@ func TestCostSimContinuousSupplyNeverFails(t *testing.T) {
 func TestCostSimWeakSlowerThanStrong(t *testing.T) {
 	net, specs, cfg := buildNet(4)
 	cs := NewCostSim(cfg)
-	cont := cs.RunNetwork(net, specs, tile.Intermittent, power.ContinuousPower, 1)
-	strong := cs.RunNetwork(net, specs, tile.Intermittent, power.StrongPower, 1)
-	weak := cs.RunNetwork(net, specs, tile.Intermittent, power.WeakPower, 1)
+	cont := mustRunNetwork(t, cs, net, specs, tile.Intermittent, power.ContinuousPower, 1)
+	strong := mustRunNetwork(t, cs, net, specs, tile.Intermittent, power.StrongPower, 1)
+	weak := mustRunNetwork(t, cs, net, specs, tile.Intermittent, power.WeakPower, 1)
 	if !(cont.Latency < strong.Latency && strong.Latency < weak.Latency) {
 		t.Errorf("latency ordering violated: cont=%v strong=%v weak=%v",
 			cont.Latency, strong.Latency, weak.Latency)
@@ -115,8 +150,8 @@ func TestCostSimIntermittentWriteDominated(t *testing.T) {
 	// dominate; under the conventional flow reads+compute dominate.
 	net, specs, cfg := buildNet(5)
 	cs := NewCostSim(cfg)
-	inter := cs.RunNetwork(net, specs, tile.Intermittent, power.ContinuousPower, 1)
-	conv := cs.RunNetwork(net, specs, tile.Continuous, power.ContinuousPower, 1)
+	inter := mustRunNetwork(t, cs, net, specs, tile.Intermittent, power.ContinuousPower, 1)
+	conv := mustRunNetwork(t, cs, net, specs, tile.Continuous, power.ContinuousPower, 1)
 	if inter.Break.WriteTime <= inter.Break.ReadTime+inter.Break.ComputeTime {
 		t.Errorf("intermittent not write-dominated: write=%v read=%v compute=%v",
 			inter.Break.WriteTime, inter.Break.ReadTime, inter.Break.ComputeTime)
@@ -133,9 +168,9 @@ func TestCostSimIntermittentWriteDominated(t *testing.T) {
 func TestCostSimPruningSpeedsUp(t *testing.T) {
 	net, specs, cfg := buildNet(6)
 	cs := NewCostSim(cfg)
-	before := cs.RunNetwork(net, specs, tile.Intermittent, power.StrongPower, 1)
+	before := mustRunNetwork(t, cs, net, specs, tile.Intermittent, power.StrongPower, 1)
 	pruneSome(net, 2)
-	after := cs.RunNetwork(net, specs, tile.Intermittent, power.StrongPower, 1)
+	after := mustRunNetwork(t, cs, net, specs, tile.Intermittent, power.StrongPower, 1)
 	if after.Latency >= before.Latency {
 		t.Errorf("pruning did not speed up: %v -> %v", before.Latency, after.Latency)
 	}
@@ -147,8 +182,8 @@ func TestCostSimPruningSpeedsUp(t *testing.T) {
 func TestCostSimDeterministicForSeed(t *testing.T) {
 	net, specs, cfg := buildNet(7)
 	cs := NewCostSim(cfg)
-	a := cs.RunNetwork(net, specs, tile.Intermittent, power.WeakPower, 42)
-	b := cs.RunNetwork(net, specs, tile.Intermittent, power.WeakPower, 42)
+	a := mustRunNetwork(t, cs, net, specs, tile.Intermittent, power.WeakPower, 42)
+	b := mustRunNetwork(t, cs, net, specs, tile.Intermittent, power.WeakPower, 42)
 	if a != b {
 		t.Error("same seed must reproduce identical results")
 	}
@@ -170,9 +205,75 @@ func TestCostSimPowerCyclesRealistic(t *testing.T) {
 	// power cycles. Even this small model should need more than a few.
 	net, specs, cfg := buildNet(9)
 	cs := NewCostSim(cfg)
-	res := cs.RunNetwork(net, specs, tile.Intermittent, power.StrongPower, 1)
+	res := mustRunNetwork(t, cs, net, specs, tile.Intermittent, power.StrongPower, 1)
 	if res.Failures < 5 {
 		t.Errorf("only %d power cycles; power model suspiciously generous", res.Failures)
+	}
+}
+
+func TestCostSimOpExceedsBufferError(t *testing.T) {
+	// One monster op whose single-op energy dwarfs the default buffer:
+	// the sim must return a typed error instead of crashing, and the
+	// partial result must show zero committed ops.
+	cfg := tile.DefaultConfig()
+	cs := NewCostSim(cfg)
+	ops := []Op{{Layer: 0, MACs: 1 << 30, Jobs: 1, WeightRead: 1 << 24, OutWrite: 1 << 24, RefetchBytes: 1 << 24}}
+	res, err := cs.Run(ops, tile.Intermittent, power.WeakPower, 1)
+	if err == nil {
+		t.Fatal("expected ErrOpExceedsBuffer, got nil")
+	}
+	var ebuf *ErrOpExceedsBuffer
+	if !errors.As(err, &ebuf) {
+		t.Fatalf("error is %T, want *ErrOpExceedsBuffer", err)
+	}
+	if ebuf.Op != 0 || ebuf.Supply != power.WeakPower.Name {
+		t.Errorf("error fields: %+v", ebuf)
+	}
+	if ebuf.Energy <= ebuf.Buffer {
+		t.Errorf("reported energy %g should exceed buffer %g", ebuf.Energy, ebuf.Buffer)
+	}
+	if res.Ops != 0 {
+		t.Errorf("partial result committed %d ops, want 0", res.Ops)
+	}
+	if res.Failures == 0 {
+		t.Error("partial result should record the power failures spent retrying")
+	}
+	for _, want := range []string{"op 0", power.WeakPower.Name, "buffer"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestOpCostMatchesEnergyModel(t *testing.T) {
+	// The cost sim must price ops through energy.Model — the same table
+	// the regionbudget static analyzer reads. Any drift between the two
+	// fails here.
+	cs := NewCostSim(tile.DefaultConfig())
+	em := energy.Model{Dev: cs.Dev}
+	ops := []Op{
+		{MACs: 4096, WeightRead: 2048, InputRead: 512, OutWrite: 256, IndWrite: 2},
+		{MACs: 128, WeightRead: 64, OutWrite: 1024, IndWrite: 2},
+		{MACs: 100000, WeightRead: 8192, InputRead: 8192},
+		{MACs: 4096, WeightRead: 2048, OutWrite: 256, SerialWrite: true},
+	}
+	for i := range ops {
+		op := &ops[i]
+		for _, mode := range []tile.Mode{tile.Intermittent, tile.Continuous} {
+			gotT, gotE, _ := cs.opCost(op, mode)
+			overlapped := mode == tile.Intermittent && !op.SerialWrite
+			wantT, wantE := em.OpCost(op.MACs, op.WeightRead+op.InputRead, op.OutWrite+op.IndWrite, overlapped)
+			if gotT != wantT || gotE != wantE {
+				t.Errorf("op %d mode %v: opCost (%g, %g) != energy.Model.OpCost (%g, %g)",
+					i, mode, gotT, gotE, wantT, wantE)
+			}
+		}
+		gotT, gotE := cs.recoveryCost(op)
+		wantT, wantE := em.RecoveryCost(int64(cs.Cfg.IndicatorBytes)+4, op.RefetchBytes)
+		if gotT != wantT || gotE != wantE {
+			t.Errorf("op %d: recoveryCost (%g, %g) != energy.Model.RecoveryCost (%g, %g)",
+				i, gotT, gotE, wantT, wantE)
+		}
 	}
 }
 
@@ -382,8 +483,8 @@ func TestCostSimTraceDriven(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb := cs.RunWithSim(ops, tile.Intermittent, bs)
-	rd := cs.RunWithSim(ops, tile.Intermittent, ds)
+	rb := mustRunWithSim(t, cs, ops, tile.Intermittent, bs)
+	rd := mustRunWithSim(t, cs, ops, tile.Intermittent, ds)
 	if rb.Latency >= rd.Latency {
 		t.Errorf("bright trace latency %v >= dim %v", rb.Latency, rd.Latency)
 	}
@@ -396,8 +497,8 @@ func TestCostSimRunMatchesRunWithSim(t *testing.T) {
 	net, specs, cfg := buildNet(21)
 	cs := NewCostSim(cfg)
 	ops := ScheduleFromNetwork(net, specs, tile.Intermittent, cfg)
-	a := cs.Run(ops, tile.Intermittent, power.WeakPower, 5)
-	b := cs.RunWithSim(ops, tile.Intermittent, power.NewSim(power.DefaultBuffer(), power.WeakPower, 5))
+	a := mustRun(t, cs, ops, tile.Intermittent, power.WeakPower, 5)
+	b := mustRunWithSim(t, cs, ops, tile.Intermittent, power.NewSim(power.DefaultBuffer(), power.WeakPower, 5))
 	if a != b {
 		t.Error("Run and RunWithSim diverged for the same supply/seed")
 	}

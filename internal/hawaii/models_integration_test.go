@@ -89,7 +89,7 @@ func TestPaperModelsPowerCycleCounts(t *testing.T) {
 		specs := tile.SpecsFromNetwork(net, cfg)
 		tile.InstallMasks(net, specs)
 		cs := NewCostSim(cfg)
-		res := cs.RunNetwork(net, specs, tile.Intermittent, power.StrongPower, 1)
+		res := mustRunNetwork(t, cs, net, specs, tile.Intermittent, power.StrongPower, 1)
 		if res.Failures < 12 || res.Failures > 3000 {
 			t.Errorf("%s: %d power cycles under strong power; paper reports dozens to a few hundreds",
 				name, res.Failures)

@@ -131,7 +131,7 @@ func TestCostSimTraceSumsMatchAggregate(t *testing.T) {
 			cs := NewCostSim(cfg)
 			rec := obs.NewRecorder()
 			cs.Trace = rec
-			res := cs.RunNetwork(net, specs, tile.Intermittent, sup, 1)
+			res := mustRunNetwork(t, cs, net, specs, tile.Intermittent, sup, 1)
 			evs := rec.Events()
 
 			// Merged power-sim + cost-sim stream must be time-ordered.
@@ -174,10 +174,10 @@ func TestCostSimTraceSumsMatchAggregate(t *testing.T) {
 func TestCostSimTracingDoesNotPerturbResult(t *testing.T) {
 	net, specs, cfg := buildNet(33)
 	cs := NewCostSim(cfg)
-	plain := cs.RunNetwork(net, specs, tile.Intermittent, power.StrongPower, 2)
+	plain := mustRunNetwork(t, cs, net, specs, tile.Intermittent, power.StrongPower, 2)
 	traced := NewCostSim(cfg)
 	traced.Trace = obs.NewRecorder()
-	got := traced.RunNetwork(net, specs, tile.Intermittent, power.StrongPower, 2)
+	got := mustRunNetwork(t, traced, net, specs, tile.Intermittent, power.StrongPower, 2)
 	if plain != got {
 		t.Errorf("tracing changed the simulation result:\nplain  %+v\ntraced %+v", plain, got)
 	}

@@ -100,6 +100,7 @@ func (t *StreamTracer) NextProcess(name string, names []string) {
 //
 //iprune:hotpath
 //iprune:allow-alloc amortized per-event scratch reuse; steady-state zero-alloc pinned by benchmark
+//iprune:allow-budget host-side trace encoding; event cost scales with label lengths, not device regions
 func (t *StreamTracer) Emit(ev Event) {
 	if t.closed || t.err != nil {
 		return
@@ -416,6 +417,7 @@ func NewTee(ts ...Tracer) *Tee {
 // Enabled implements Tracer: true while any member is enabled.
 //
 //iprune:hotpath
+//iprune:allow-budget tracer fan-out recurses through nested tees; host-side observability, outside the device energy envelope
 func (t *Tee) Enabled() bool {
 	for _, tr := range t.ts {
 		if tr.Enabled() {
@@ -428,6 +430,7 @@ func (t *Tee) Enabled() bool {
 // Emit implements Tracer, forwarding to every enabled member.
 //
 //iprune:hotpath
+//iprune:allow-budget tracer fan-out recurses through nested tees; host-side observability, outside the device energy envelope
 func (t *Tee) Emit(ev Event) {
 	for _, tr := range t.ts {
 		if tr.Enabled() {

@@ -163,7 +163,11 @@ func evaluate(name string, net *nn.Network, ds *dataset.Dataset, cfg tile.Config
 	v.Counts = tile.CountNetwork(net, specs, tile.Intermittent, cfg)
 	cs := hawaii.NewCostSim(cfg)
 	for _, sup := range Supplies() {
-		v.Latency[sup.Name] = cs.RunNetwork(net, specs, tile.Intermittent, sup, seed)
+		r, err := cs.RunNetwork(net, specs, tile.Intermittent, sup, seed)
+		if err != nil {
+			return v, fmt.Errorf("report: %s under %s: %w", name, sup.Name, err)
+		}
+		v.Latency[sup.Name] = r
 	}
 	return v, nil
 }
@@ -286,9 +290,12 @@ func Fig2Breakdown(app string, sc Scale, seed int64) (conventional, intermittent
 	specs := tile.SpecsFromNetwork(net, cfg)
 	tile.InstallMasks(net, specs)
 	cs := hawaii.NewCostSim(cfg)
-	conventional = cs.RunNetwork(net, specs, tile.Continuous, power.ContinuousPower, seed)
-	intermittent = cs.RunNetwork(net, specs, tile.Intermittent, power.ContinuousPower, seed)
-	return conventional, intermittent, nil
+	conventional, err = cs.RunNetwork(net, specs, tile.Continuous, power.ContinuousPower, seed)
+	if err != nil {
+		return
+	}
+	intermittent, err = cs.RunNetwork(net, specs, tile.Intermittent, power.ContinuousPower, seed)
+	return conventional, intermittent, err
 }
 
 // DeviceProfile exposes the Table I platform for rendering.

@@ -43,7 +43,10 @@ func WriteRunTraces(w io.Writer, results []*AppResult, seed int64) error {
 		st.NextProcess(r.App+" "+v.Name, specNames(r.Specs))
 		cs := hawaii.NewCostSim(cfg)
 		cs.Trace = st
-		cs.RunNetwork(v.Net, r.Specs, tile.Intermittent, power.StrongPower, seed)
+		if _, err := cs.RunNetwork(v.Net, r.Specs, tile.Intermittent, power.StrongPower, seed); err != nil {
+			st.Close() //iprune:allow-err surfacing the simulation error; the aborted trace is discarded
+			return err
+		}
 	}
 	return st.Close()
 }
@@ -70,7 +73,10 @@ func WriteFig2Traces(w io.Writer, seed int64) error {
 			st.NextProcess(app+" "+mode.label, specNames(specs))
 			cs := hawaii.NewCostSim(cfg)
 			cs.Trace = st
-			cs.RunNetwork(net, specs, mode.m, power.ContinuousPower, seed)
+			if _, err := cs.RunNetwork(net, specs, mode.m, power.ContinuousPower, seed); err != nil {
+				st.Close() //iprune:allow-err surfacing the simulation error; the aborted trace is discarded
+				return err
+			}
 		}
 	}
 	return st.Close()

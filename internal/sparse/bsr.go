@@ -162,6 +162,7 @@ func (m *Matrix) ToDense() []float32 {
 // combined scale folded out. Used by the functional engine and tests.
 //
 //iprune:hotpath
+//iprune:allow-budget row and block counts are model geometry; the FC op built on this is priced against the buffer dynamically by CostSim
 func (m *Matrix) MulVec(x []fixed.Q15) []int64 {
 	if len(x) < m.Cols {
 		panic(fmt.Sprintf("sparse: MulVec input %d < cols %d", len(x), m.Cols))

@@ -89,6 +89,7 @@ func (t *Tensor) flat(idx []int) int {
 // hot path this repo trains on.
 //
 //iprune:hotpath
+//iprune:allow-budget training-time float kernel; runs on the workstation and never inside a harvested power cycle
 func Gemm(a, b, c []float32, m, k, n int, accumulate bool) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		panic("tensor: gemm buffer too small")

@@ -269,6 +269,7 @@ func (m Mode) String() string {
 // Section III-C.
 //
 //iprune:hotpath
+//iprune:allow-budget analytic host-side characterization; loop bounds are layer geometry, not an on-device region
 func CountLayer(spec *LayerSpec, mask *nn.BlockMask, mode Mode, cfg Config) Counts {
 	if mask != nil {
 		if mask.Rows != spec.M || mask.Cols != spec.K || mask.BM != spec.TM || mask.BK != spec.TK {

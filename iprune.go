@@ -30,8 +30,8 @@
 //	ds := iprune.HARData(iprune.DataConfig{Train: 192, Test: 96, Noise: 0.35}, 1)
 //	iprune.TrainSGD(net, ds.Train, 8, 0.005, 1)
 //	res, _ := iprune.Prune(net, ds.Train, ds.Test, iprune.DefaultPruneOptions())
-//	before := iprune.Simulate(net, iprune.StrongPower, 1)
-//	after := iprune.Simulate(res.Net, iprune.StrongPower, 1)
+//	before, _ := iprune.Simulate(net, iprune.StrongPower, 1)
+//	after, _ := iprune.Simulate(res.Net, iprune.StrongPower, 1)
 //	fmt.Printf("speedup %.2fx\n", before.Latency/after.Latency)
 package iprune
 
@@ -185,8 +185,10 @@ func MSP430() DeviceProfile { return device.MSP430FR5994() }
 // Simulate runs one event-driven end-to-end intermittent inference of the
 // network under a supply and returns latency, energy, failure and
 // breakdown statistics. The network's pruning masks (if any) shape the
-// accelerator-operation schedule.
-func Simulate(net *Network, sup Supply, seed int64) SimResult {
+// accelerator-operation schedule. A non-nil error is
+// *hawaii.ErrOpExceedsBuffer: an op in the schedule can never fit one
+// buffer charge, so the inference cannot complete under this supply.
+func Simulate(net *Network, sup Supply, seed int64) (SimResult, error) {
 	return SimulateObserved(net, sup, seed, nil)
 }
 
@@ -195,7 +197,7 @@ func Simulate(net *Network, sup Supply, seed int64) SimResult {
 // typed event (record with NewTraceRecorder, then export via
 // CollectTrace / WriteChromeTrace / WriteTraceCSV). A nil tracer
 // behaves exactly like Simulate.
-func SimulateObserved(net *Network, sup Supply, seed int64, tr Tracer) SimResult {
+func SimulateObserved(net *Network, sup Supply, seed int64, tr Tracer) (SimResult, error) {
 	cfg := tile.DefaultConfig()
 	specs := tile.SpecsFromNetwork(net, cfg)
 	ensureMasks(net, specs)
@@ -431,7 +433,7 @@ func SimulateTrace(net *Network, tr power.Trace, seed int64) (SimResult, error) 
 	}
 	cs := hawaii.NewCostSim(cfg)
 	ops := hawaii.ScheduleFromNetwork(net, specs, tile.Intermittent, cfg)
-	return cs.RunWithSim(ops, tile.Intermittent, sim), nil
+	return cs.RunWithSim(ops, tile.Intermittent, sim)
 }
 
 // Trace re-exports the time-varying harvest profile type.

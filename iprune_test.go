@@ -34,9 +34,17 @@ func TestFacadeSimulateOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cont := iprune.Simulate(net, iprune.ContinuousPower, 1)
-	strong := iprune.Simulate(net, iprune.StrongPower, 1)
-	weak := iprune.Simulate(net, iprune.WeakPower, 1)
+	sim := func(sup iprune.Supply) iprune.SimResult {
+		t.Helper()
+		r, err := iprune.Simulate(net, sup, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cont := sim(iprune.ContinuousPower)
+	strong := sim(iprune.StrongPower)
+	weak := sim(iprune.WeakPower)
 	if !(cont.Latency < strong.Latency && strong.Latency < weak.Latency) {
 		t.Errorf("latency ordering violated: %v %v %v", cont.Latency, strong.Latency, weak.Latency)
 	}
@@ -139,7 +147,9 @@ func TestFacadeStreamMatchesRecordedTrace(t *testing.T) {
 	rec := iprune.NewTraceRecorder()
 	var streamed bytes.Buffer
 	st := iprune.NewTraceStreamer(&streamed, names)
-	iprune.SimulateObserved(net, iprune.StrongPower, 7, iprune.TeeTracers(st, rec))
+	if _, err := iprune.SimulateObserved(net, iprune.StrongPower, 7, iprune.TeeTracers(st, rec)); err != nil {
+		t.Fatal(err)
+	}
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +171,9 @@ func TestFacadeStreamMatchesRecordedTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	iprune.SimulateObserved(net, iprune.StrongPower, 7, fs)
+	if _, err := iprune.SimulateObserved(net, iprune.StrongPower, 7, fs); err != nil {
+		t.Fatal(err)
+	}
 	if err := fs.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -23,14 +23,9 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
-echo "== iprunelint"
-go run ./cmd/iprunelint -cache -json ./...
-
-# Trace-pipeline smoke test: a quick-scale fig2 regeneration must leave
-# a parseable, non-empty Chrome trace artifact behind. CI sets
-# CHECK_ARTIFACT_DIR to a directory it uploads on failure; local runs
-# use a throwaway temp dir.
-echo "== repro trace smoke"
+# Artifact directory shared by the SARIF and repro-smoke steps. CI sets
+# CHECK_ARTIFACT_DIR to a directory it uploads; local runs use a
+# throwaway temp dir.
 if [ -n "${CHECK_ARTIFACT_DIR:-}" ]; then
     tmp="$CHECK_ARTIFACT_DIR"
     mkdir -p "$tmp"
@@ -38,6 +33,22 @@ else
     tmp=$(mktemp -d)
     trap 'rm -rf "$tmp"' EXIT
 fi
+
+echo "== iprunelint"
+go run ./cmd/iprunelint -cache -json ./...
+
+# Regenerate the findings as SARIF for code scanning and validate the
+# emitter's output shape. Exit 1 means findings (already gated by the
+# JSON run above); anything higher is an analyzer failure.
+echo "== iprunelint sarif"
+status=0
+go run ./cmd/iprunelint -cache -sarif ./... > "$tmp/iprunelint.sarif" || status=$?
+[ "$status" -le 1 ] || exit "$status"
+go run scripts/sarifcheck.go "$tmp/iprunelint.sarif"
+
+# Trace-pipeline smoke test: a quick-scale fig2 regeneration must leave
+# a parseable, non-empty Chrome trace artifact behind.
+echo "== repro trace smoke"
 go run ./cmd/repro -scale quick -artifacts "$tmp" -q fig2 > /dev/null
 test -s "$tmp/fig2/trace.json"
 go run scripts/jsoncheck.go "$tmp/fig2/trace.json"

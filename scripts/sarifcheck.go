@@ -1,0 +1,106 @@
+//go:build ignore
+
+// sarifcheck validates a SARIF 2.1.0 artifact as emitted by
+// `iprunelint -sarif`: the file must parse as JSON, declare version
+// 2.1.0, carry exactly one run with a named driver, and every result
+// must reference a rule declared by that driver and anchor a physical
+// location with a 1-based start line. Used by scripts/check.sh so a
+// malformed SARIF emitter fails the gate before GitHub code scanning
+// silently rejects the upload:
+//
+//	go run scripts/sarifcheck.go artifacts/iprunelint.sarif
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: sarifcheck REPORT.sarif")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sarifcheck:", err)
+		os.Exit(1)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		fmt.Fprintf(os.Stderr, "sarifcheck: %s: not valid JSON: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "sarifcheck: %s: %s\n", os.Args[1], fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
+	if log.Version != "2.1.0" {
+		fail("version %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		fail("%d runs, want exactly 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name == "" {
+		fail("run has no tool.driver.name")
+	}
+	rules := make(map[string]bool, len(run.Tool.Driver.Rules))
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "" {
+			fail("driver declares a rule with an empty id")
+		}
+		rules[r.ID] = true
+	}
+	for i, res := range run.Results {
+		if !rules[res.RuleID] {
+			fail("result %d references undeclared rule %q", i, res.RuleID)
+		}
+		if res.Message.Text == "" {
+			fail("result %d (%s) has an empty message", i, res.RuleID)
+		}
+		if len(res.Locations) == 0 {
+			fail("result %d (%s) has no locations", i, res.RuleID)
+		}
+		for _, loc := range res.Locations {
+			if loc.PhysicalLocation.ArtifactLocation.URI == "" {
+				fail("result %d (%s) has a location without an artifact URI", i, res.RuleID)
+			}
+			if loc.PhysicalLocation.Region.StartLine < 1 {
+				fail("result %d (%s) has a non-positive startLine %d",
+					i, res.RuleID, loc.PhysicalLocation.Region.StartLine)
+			}
+		}
+	}
+	fmt.Printf("%s: valid SARIF 2.1.0, driver %s, %d rule(s), %d result(s)\n",
+		os.Args[1], run.Tool.Driver.Name, len(rules), len(run.Results))
+}
