@@ -26,6 +26,8 @@
 //	                  model under -power and print the per-layer delta
 //	                  (latency, energy, preserves, re-executions)
 //	-diffcsv FILE     write that delta as long-form CSV
+//	-cpuprofile FILE  write a runtime/pprof CPU profile of training+pruning
+//	-memprofile FILE  write a heap profile taken after pruning
 package main
 
 import (
@@ -54,6 +56,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-layer summary of one pruned-model inference")
 	diff := flag.Bool("diff", false, "print per-layer before/after pruning delta of one inference under -power")
 	diffCSVPath := flag.String("diffcsv", "", "write the before/after pruning delta as long-form CSV")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of training+pruning to this file")
+	memProfile := flag.String("memprofile", "", "write a post-pruning heap profile to this file")
 	flag.Parse()
 
 	var crit iprune.Criterion
@@ -76,6 +80,13 @@ func main() {
 	}
 
 	ds, err := datasetFor(*model, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The profile window covers the compute that matters: training and
+	// the prune/finetune loop.
+	stopProf, err := iprune.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,6 +121,9 @@ func main() {
 	fmt.Printf("pruning with %s...\n", crit.Name())
 	res, err := iprune.PruneWith(crit, net, ds.Train, ds.Test, opts)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := stopProf(); err != nil {
 		log.Fatal(err)
 	}
 

@@ -1,34 +1,49 @@
 // Command isim simulates intermittent DNN inference of a model on the
 // MSP430-class device under a chosen power supply, reporting latency,
 // energy, power cycles and the active-time breakdown. It also diffs two
-// previously exported per-layer metrics CSVs against each other.
+// previously exported metrics CSVs against each other.
 //
 // Usage:
 //
 //	isim -model HAR -power weak
 //	isim -in har-iprune.model -power 6mW -n 5
 //	isim -model HAR -power weak -trace run.json -metrics run.csv -v
+//	isim -model HAR -power weak -audit
 //	isim -compare before.csv after.csv
 //
 // Flags:
 //
-//	-model NAME    SQN, HAR or CKS (fresh, untrained weights; default HAR)
-//	-in FILE       simulate a model file written by cmd/iprune instead
-//	-power NAME    continuous | strong | weak, or a custom value like 6mW
-//	-n N           number of inferences to simulate (default 1)
-//	-seed N        random seed for harvest jitter (default 1)
-//	-trace FILE    stream a Chrome trace-event JSON of the first inference
-//	               (open in https://ui.perfetto.dev or chrome://tracing);
-//	               events are encoded as they happen, so memory use does
-//	               not grow with the run
-//	-metrics FILE  write per-layer latency/energy/NVM-traffic CSV of the
-//	               first inference
-//	-v             print a per-layer and per-power-cycle summary table
-//	-compare       diff two per-layer metrics CSVs (written by -metrics)
-//	               layer by layer and exit: isim -compare A.csv B.csv
+//	-model NAME     SQN, HAR or CKS (fresh, untrained weights; default HAR)
+//	-in FILE        simulate a model file written by cmd/iprune instead
+//	-power NAME     continuous | strong | weak, or a custom value like 6mW
+//	-n N            number of inferences to simulate (default 1)
+//	-seed N         random seed for harvest jitter (default 1)
+//	-trace FILE     stream a Chrome trace-event JSON of the run (open in
+//	                https://ui.perfetto.dev or chrome://tracing): one
+//	                process section per inference, plus one section
+//	                overlaying the functional engine's calibrated trace of
+//	                the same model and supply on the same time axis;
+//	                events are encoded as they happen, so memory use does
+//	                not grow with the run
+//	-metrics FILE   write per-layer latency/energy/NVM-traffic CSV of the
+//	                first inference
+//	-hist FILE      write latency/energy/utilization histograms CSV of
+//	                the first inference
+//	-audit          audit the first inference's measured per-region and
+//	                per-power-cycle energy against the static power-cycle
+//	                budget; exits non-zero on a violation
+//	-auditlint FILE cross-check an `iprunelint -json` report in the audit
+//	                (regionbudget findings fail it)
+//	-cpuprofile F   write a runtime/pprof CPU profile of the simulation
+//	-memprofile F   write a heap profile taken after the simulation
+//	-v              print a per-layer and per-power-cycle summary table
+//	-compare        diff two metrics CSVs and exit: per-layer tables
+//	                (written by -metrics) diff layer by layer, histogram
+//	                exports (written by -hist) diff by p50/p95/p99 tails
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -44,11 +59,15 @@ func main() {
 	powerName := flag.String("power", "strong", "supply: continuous|strong|weak or e.g. 6mW")
 	n := flag.Int("n", 1, "inferences to simulate")
 	seed := flag.Int64("seed", 1, "harvest jitter seed")
-	tracePath := flag.String("trace", "", "stream Chrome trace-event JSON of the first inference")
+	tracePath := flag.String("trace", "", "stream Chrome trace-event JSON of the run")
 	metricsPath := flag.String("metrics", "", "write per-layer metrics CSV of the first inference")
 	histPath := flag.String("hist", "", "write latency/energy/utilization histograms CSV of the first inference")
+	audit := flag.Bool("audit", false, "audit measured energy against the static power-cycle budget")
+	auditLint := flag.String("auditlint", "", "iprunelint -json report to cross-check in the audit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+	memProfile := flag.String("memprofile", "", "write a post-simulation heap profile to this file")
 	verbose := flag.Bool("v", false, "print per-layer and power-cycle summary")
-	compare := flag.Bool("compare", false, "diff two per-layer metrics CSVs: isim -compare A.csv B.csv")
+	compare := flag.Bool("compare", false, "diff two metrics CSVs: isim -compare A.csv B.csv")
 	flag.Parse()
 
 	if *compare {
@@ -85,13 +104,14 @@ func main() {
 		net.Name, st.SizeBytes/1024, st.MACs/1000, st.AccOutputs/1000)
 	fmt.Printf("supply: %s (%g mW)\n", sup.Name, sup.Power*1e3)
 
-	// Observability is attached to the first inference only: one run is
-	// what a trace viewer wants, and repeated inferences differ only by
-	// harvest jitter. The trace artifact streams straight to disk; a
-	// recorder rides along only when aggregated views need the events.
+	// Aggregated views (metrics CSV, histograms, summary, audit) ride on
+	// a recorder attached to the first inference: repeated inferences
+	// differ only by harvest jitter, and the audit's power-cycle
+	// accounting needs one run's coherent time axis. The trace artifact
+	// streams every inference to disk, each as its own process section.
 	names := iprune.PrunableLayerNames(net)
 	var rec *iprune.TraceRecorder
-	if *metricsPath != "" || *histPath != "" || *verbose {
+	if *metricsPath != "" || *histPath != "" || *verbose || *audit {
 		rec = iprune.NewTraceRecorder()
 	}
 	var stream *iprune.TraceStream
@@ -100,22 +120,30 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	var tr iprune.Tracer
-	switch {
-	case stream != nil && rec != nil:
-		tr = iprune.TeeTracers(stream, rec)
-	case stream != nil:
-		tr = stream
-	case rec != nil:
-		tr = rec
+
+	stopProf, err := iprune.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	var totalLat, totalEnergy float64
 	var totalFail int
 	for i := 0; i < *n; i++ {
+		var tr iprune.Tracer
+		switch {
+		case stream != nil:
+			stream.NextProcess(fmt.Sprintf("cost-sim inference %d", i+1), names)
+			if i == 0 && rec != nil {
+				tr = iprune.TeeTracers(stream, rec)
+			} else {
+				tr = stream
+			}
+		case i == 0 && rec != nil:
+			tr = rec
+		}
 		var r iprune.SimResult
 		var simErr error
-		if i == 0 && tr != nil {
+		if tr != nil {
 			r, simErr = iprune.SimulateObserved(net, sup, *seed+int64(i), tr)
 		} else {
 			r, simErr = iprune.Simulate(net, sup, *seed+int64(i))
@@ -141,6 +169,20 @@ func main() {
 	if *n > 1 {
 		fmt.Printf("mean: latency %.3fs, %.1f power cycles, %.2f mJ\n",
 			totalLat/float64(*n), float64(totalFail)/float64(*n), totalEnergy*1e3/float64(*n))
+	}
+
+	if stream != nil {
+		// Overlay the functional engine's energy-calibrated trace of the
+		// same model and supply as one more process section: both
+		// backends then share the microsecond/joule axis in the viewer.
+		stream.NextProcess("engine (calibrated)", names)
+		if err := iprune.ObserveEngine(net, sup, *seed, stream, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if err := stopProf(); err != nil {
+		log.Fatal(err)
 	}
 
 	if stream != nil {
@@ -185,11 +227,49 @@ func main() {
 			}
 		}
 	}
+	if *audit {
+		report := iprune.AuditTrace(rec.Events(), sup)
+		if *auditLint != "" {
+			f, err := os.Open(*auditLint)
+			if err != nil {
+				log.Fatal(err)
+			}
+			count, err := iprune.CountRegionFindings(f)
+			f.Close() //iprune:allow-err read-only file; decode errors dominate
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.StaticFindings = count
+		}
+		if err := report.WriteReport(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if report.Failed() {
+			os.Exit(1)
+		}
+	}
 }
 
-// compareCSVs diffs two per-layer metrics CSV exports (the -metrics
-// format) layer by layer and renders the comparison table.
+// compareCSVs diffs two metrics CSV exports and renders the comparison
+// table: per-layer run stats (the -metrics format) layer by layer, or
+// histogram exports (the -hist format) by count, mean and tail
+// quantiles. The format is sniffed from the header line, so both sides
+// must be the same kind.
 func compareCSVs(w io.Writer, pathA, pathB string) error {
+	if isHistCSV(pathA) || isHistCSV(pathB) {
+		before, err := readHistFile(pathA)
+		if err != nil {
+			return err
+		}
+		after, err := readHistFile(pathB)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "comparing %s vs %s\n", pathA, pathB); err != nil {
+			return err
+		}
+		return iprune.WriteHistogramDiffTable(w, before, after)
+	}
 	before, namesA, err := readStatsFile(pathA)
 	if err != nil {
 		return err
@@ -208,6 +288,19 @@ func compareCSVs(w io.Writer, pathA, pathB string) error {
 	return iprune.WriteTraceDiffTable(w, iprune.DiffTrace(before, after), names)
 }
 
+// isHistCSV sniffs whether path is a histogram export (the -hist
+// format) by its header line.
+func isHistCSV(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close() //iprune:allow-err read-only sniff; the real read reopens
+	var head [13]byte
+	n, _ := f.Read(head[:])
+	return bytes.HasPrefix(head[:n], []byte("histogram,le,"))
+}
+
 func readStatsFile(path string) (*iprune.RunStats, []string, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -219,4 +312,17 @@ func readStatsFile(path string) (*iprune.RunStats, []string, error) {
 		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return s, names, nil
+}
+
+func readHistFile(path string) (*iprune.Metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //iprune:allow-err read-only file; ReadHistogramsCSV errors dominate
+	m, err := iprune.ReadHistogramsCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
 }

@@ -1,0 +1,140 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"iprune/internal/obs"
+)
+
+// auditEvents builds one power cycle of op commits with the given
+// per-op energies, stamped at unit intervals.
+func auditEvents(energies ...float64) []obs.Event {
+	evs := []obs.Event{{Kind: obs.KindPowerOn, Time: 0, Layer: -1, Op: -1}}
+	t := 0.0
+	for i, e := range energies {
+		evs = append(evs, obs.Event{Kind: obs.KindOpCommit, Time: t, Dur: 1e-3, Layer: 0, Op: int64(i), Energy: e})
+		t += 1e-3
+	}
+	return append(evs, obs.Event{Kind: obs.KindPowerOff, Time: t, Layer: -1, Op: -1})
+}
+
+func TestAuditTracePass(t *testing.T) {
+	m := Default()
+	r := m.AuditTrace(auditEvents(m.BufferJ/4, 0.6*m.BufferJ), 4e-3, 0.15)
+	if r.Failed() || len(r.Violations) != 0 {
+		t.Fatalf("clean trace failed: %v", r.Violations)
+	}
+	if r.Regions != 2 || r.Cycles != 1 {
+		t.Errorf("regions=%d cycles=%d, want 2/1", r.Regions, r.Cycles)
+	}
+	if r.MaxRegionJ != 0.6*m.BufferJ || r.MaxRegionOp != 1 || r.MaxRegionLayer != 0 {
+		t.Errorf("max region %g at layer %d op %d", r.MaxRegionJ, r.MaxRegionLayer, r.MaxRegionOp)
+	}
+	// Near-limit schedule (>50% of the bound) earns a precision note.
+	if len(r.Notes) != 1 || !strings.Contains(r.Notes[0], "intermittence limit") {
+		t.Errorf("notes = %v", r.Notes)
+	}
+	// StaticFindings defaults to "no report given".
+	if r.StaticFindings != -1 {
+		t.Errorf("StaticFindings = %d, want -1", r.StaticFindings)
+	}
+}
+
+func TestAuditTraceLooseBoundNote(t *testing.T) {
+	m := Default()
+	r := m.AuditTrace(auditEvents(m.BufferJ/1000), 4e-3, 0)
+	if r.Failed() {
+		t.Fatal("loose bound must pass")
+	}
+	if len(r.Notes) != 1 || !strings.Contains(r.Notes[0], "loose") {
+		t.Errorf("notes = %v", r.Notes)
+	}
+}
+
+func TestAuditTraceRegionViolation(t *testing.T) {
+	m := Default()
+	r := m.AuditTrace(auditEvents(2*m.BufferJ), 4e-3, 0.15)
+	if !r.Failed() || len(r.Violations) == 0 {
+		t.Fatal("oversized region must fail the audit")
+	}
+	if !strings.Contains(r.Violations[0], "static bound") {
+		t.Errorf("violation = %q", r.Violations[0])
+	}
+}
+
+func TestAuditTraceCycleViolation(t *testing.T) {
+	m := Default()
+	// Three regions, each individually inside the bound, but the cycle
+	// total exceeds one charge + harvest + one region's overshoot.
+	e := 0.8 * m.BufferJ
+	r := m.AuditTrace(auditEvents(e, e, e), 4e-3, 0)
+	found := false
+	for _, v := range r.Violations {
+		if strings.Contains(v, "power cycle") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cycle over-draw not flagged: %v", r.Violations)
+	}
+	// The same trace under a continuous supply (harvestW = 0) only runs
+	// the region check: the wall feeds the single cycle.
+	if rc := m.AuditTrace(auditEvents(e, e, e), 0, 0); rc.Failed() {
+		t.Errorf("continuous-supply cycle check must not bind: %v", rc.Violations)
+	}
+}
+
+func TestAuditStepTraceHasNoRegions(t *testing.T) {
+	// Step-clock traces carry no energy: the audit sees zero regions and
+	// passes vacuously instead of inventing violations.
+	m := Default()
+	r := m.AuditTrace(auditEvents(0, 0), 4e-3, 0.15)
+	if r.Regions != 0 || r.Failed() {
+		t.Errorf("unpriced trace: regions=%d violations=%v", r.Regions, r.Violations)
+	}
+}
+
+func TestCountRegionFindings(t *testing.T) {
+	in := `[{"analyzer":"regionbudget","msg":"a"},{"analyzer":"parsafe"},{"analyzer":"regionbudget"}]`
+	n, err := CountRegionFindings(strings.NewReader(in))
+	if err != nil || n != 2 {
+		t.Fatalf("CountRegionFindings = %d, %v; want 2", n, err)
+	}
+	if n, err := CountRegionFindings(strings.NewReader("[]")); err != nil || n != 0 {
+		t.Errorf("empty report = %d, %v", n, err)
+	}
+	if _, err := CountRegionFindings(strings.NewReader("not json")); err == nil {
+		t.Error("malformed report must error")
+	}
+}
+
+func TestAuditWriteReport(t *testing.T) {
+	m := Default()
+	r := m.AuditTrace(auditEvents(m.BufferJ/10), 4e-3, 0.15)
+	r.StaticFindings = 0
+	var b strings.Builder
+	if err := r.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"budget audit: PASS", "static bound", "measured regions", "power cycles", "0 regionbudget"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// A cross-checked lint report with regionbudget findings fails the
+	// audit even when the measured side is clean.
+	r.StaticFindings = 3
+	if !r.Failed() {
+		t.Error("static findings must fail the audit")
+	}
+	b.Reset()
+	if err := r.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "budget audit: FAIL") {
+		t.Errorf("report not FAIL:\n%s", b.String())
+	}
+}

@@ -73,17 +73,25 @@ type Engine struct {
 	Cfg   tile.Config
 	Model *quant.Model
 
-	// Trace receives the functional execution events (op commits,
-	// preservation writes, injected failures, recovery re-execution,
-	// layer boundaries) stamped in preservation steps — the engine has
-	// no notion of seconds. Nil disables tracing; emission is guarded so
-	// the disabled path allocates nothing per op.
+	// Trace receives the functional execution events (op attempts and
+	// commits, preservation writes, injected failures, recovery
+	// re-execution, layer boundaries). Nil disables tracing; emission is
+	// guarded so the disabled path allocates nothing per op.
 	Trace obs.Tracer
+
+	// Price calibrates the trace timeline: nil stamps events in
+	// abstract preservation steps (the engine itself has no notion of
+	// seconds), while a Pricer — NewTracePricer over the shared energy
+	// model — stamps simulated seconds and joules, putting engine
+	// traces on the same axis as CostSim traces of the same schedule.
+	// Pricing only shapes observation; execution is bit-identical
+	// either way.
+	Price obs.Pricer
 
 	inShift   int
 	outShifts []int // per prunable layer
 
-	clk obs.StepClock
+	clk obs.EnergyClock
 	nvm nvmState
 }
 
@@ -271,19 +279,21 @@ func (e *Engine) Infer(x *tensor.Tensor, inj FailureInjector) (*InferResult, err
 	e.resetNVM(in)
 	var stats ExecStats
 
-	e.clk = obs.StepClock{T: e.Trace}
-	e.clk.Emit(obs.KindPowerOn, -1, -1, 0, 0)
+	e.clk = obs.EnergyClock{T: e.Trace, P: e.Price}
+	e.clk.Emit(obs.KindPowerOn, -1, -1, 0, 0, 0)
 	pi := 0 // prunable index of the current stage (advances with stages)
 	resuming := false
 	for e.nvm.stage < len(e.Net.Layers) {
 		li := e.nvm.stage
 		layer := e.Net.Layers[li]
 		if resuming {
-			// Reboot after the injected failure: back on power, recovery
-			// re-enters the interrupted stage.
-			e.clk.Emit(obs.KindPowerOn, li, -1, 0, 0)
+			// Reboot after the injected failure: the buffer recharges
+			// (dead-time on the calibrated timeline), then recovery
+			// re-enters the interrupted stage back on power.
+			e.clk.Emit(obs.KindCharge, li, -1, 0, 0, 0)
+			e.clk.Emit(obs.KindPowerOn, li, -1, 0, 0, 0)
 		} else {
-			e.clk.Emit(obs.KindLayerStart, li, -1, 0, 0)
+			e.clk.Emit(obs.KindLayerStart, li, -1, 0, 0, 0)
 		}
 		var err error
 		var failed bool
@@ -299,19 +309,19 @@ func (e *Engine) Infer(x *tensor.Tensor, inj FailureInjector) (*InferResult, err
 			// Power failure: volatile state is lost; NVM counters decide
 			// where execution resumes. Recovery re-enters the same stage.
 			stats.Failures++
-			e.clk.Emit(obs.KindFailure, li, -1, 0, 0)
-			e.clk.Emit(obs.KindPowerOff, li, -1, 0, 0)
+			e.clk.Emit(obs.KindFailure, li, -1, 0, 0, 0)
+			e.clk.Emit(obs.KindPowerOff, li, -1, 0, 0, 0)
 			resuming = true
 			continue
 		}
 		resuming = false
-		e.clk.Emit(obs.KindLayerEnd, li, -1, 0, 0)
+		e.clk.Emit(obs.KindLayerEnd, li, -1, 0, 0, 0)
 		if _, ok := layer.(nn.Prunable); ok {
 			pi++
 		}
 		e.commitStage()
 	}
-	e.clk.Emit(obs.KindPowerOff, -1, -1, 0, 0)
+	e.clk.Emit(obs.KindPowerOff, -1, -1, 0, 0, 0)
 
 	lastIdx := len(e.Net.Layers) - 1
 	out := e.nvm.acts[lastIdx]
@@ -405,7 +415,7 @@ func (e *Engine) runCPUStage(li int, inj FailureInjector, stats *ExecStats) (fai
 	}
 	e.commitAct(li, out, shift)
 	stats.AuxWriteBytes += int64(2 * len(out))
-	e.clk.Emit(obs.KindPreserve, li, -1, int64(2*len(in)), int64(2*len(out)))
+	e.clk.Emit(obs.KindPreserve, li, -1, 0, int64(2*len(in)), int64(2*len(out)))
 	return false, nil
 }
 
@@ -436,7 +446,7 @@ func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool
 		}
 		e.commitTransform(col, spec.M*spec.N)
 		stats.AuxWriteBytes += int64(2 * len(col))
-		e.clk.Emit(obs.KindPreserve, li, -1, 0, int64(2*len(col)))
+		e.clk.Emit(obs.KindPreserve, li, -1, 0, 0, int64(2*len(col)))
 		// If the failure hit the transform itself, redoing it was the
 		// recovery; the first op then runs for the first time.
 		resuming = false
@@ -484,19 +494,24 @@ func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool
 					}
 					continue // already committed before the failure
 				}
+				r0 := br * spec.TM
+				rm := min(spec.TM, spec.M-r0)
 				reExec := false
 				if resuming {
 					// Only the interrupted op re-executes (HAWAII's
 					// recovery property); ops after it run for the first
-					// time.
+					// time. The re-fetch (weight block, input tile,
+					// preserved partials) rides on the event so the
+					// calibrated timeline can price recovery like the
+					// cost simulator's RefetchBytes.
 					stats.ReExecOps++
 					reExec = true
 					resuming = false
 					inputCharged = false // lost with VM; re-fetch
-					e.clk.Emit(obs.KindReExec, li, ord, 0, 0)
+					refetch := int64(2*rm*kk) + int64(2*kk*tn) + int64(2*rm*tn)
+					e.clk.Emit(obs.KindReExec, li, ord, 0, refetch, 0)
 				}
-				r0 := br * spec.TM
-				rm := min(spec.TM, spec.M-r0)
+				e.clk.Emit(obs.KindOpStart, li, ord, 0, 0, 0)
 				block := w.Blocks[s*bk : (s+1)*bk]
 				src := e.nvm.partial[(seen+1)%2]
 				dst := e.nvm.partial[seen%2]
@@ -527,8 +542,12 @@ func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool
 				stats.Ops++
 				stats.Jobs += int64(rm * tn)
 				if e.clk.Enabled() {
-					e.clk.Emit(obs.KindOpCommit, li, ord, opRead, 0)
-					e.clk.Emit(obs.KindPreserve, li, ord, 0, opWrite)
+					// One emission covers the committed op and its
+					// preservation: the clock prices the op like the
+					// cost simulator (overlapped write) and renders the
+					// trailing preserve instant itself.
+					macs := int64(rm) * int64(kk) * int64(tn)
+					e.clk.Emit(obs.KindOpCommit, li, ord, macs, opRead, opWrite)
 				}
 				ord++
 			}
@@ -564,7 +583,7 @@ func (e *Engine) runPrunableStage(li, pi int, inj FailureInjector, resuming bool
 	}
 	e.commitAct(li, out, outShift)
 	stats.AuxWriteBytes += int64(2 * spec.M * spec.N)
-	e.clk.Emit(obs.KindPreserve, li, -1, int64(2*spec.M*spec.N), int64(2*spec.M*spec.N))
+	e.clk.Emit(obs.KindPreserve, li, -1, 0, int64(2*spec.M*spec.N), int64(2*spec.M*spec.N))
 	return false, nil
 }
 

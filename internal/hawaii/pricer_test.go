@@ -1,0 +1,181 @@
+package hawaii
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"iprune/internal/obs"
+	"iprune/internal/power"
+	"iprune/internal/tile"
+)
+
+// TestEngineCostSimSharedTimeAxis pins the tentpole calibration claim:
+// a functional-engine run priced by TracePricer and a cost-sim run of
+// the same network and supply stamp their traces in the same simulated
+// seconds and joules. Under continuous power neither backend sees a
+// failure, the op schedules are identical, and the per-op pricing goes
+// through the same energy.Model.OpCost table — so the op-commit time
+// and energy sums must agree to float tolerance, not merely correlate.
+func TestEngineCostSimSharedTimeAxis(t *testing.T) {
+	e, samples := newTestEngine(t, 30, 3)
+	engRec := obs.NewRecorder()
+	e.Trace = engRec
+	e.Price = NewTracePricer(power.ContinuousPower, e.Cfg)
+	if _, err := e.Infer(samples[0].X, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	cs := NewCostSim(e.Cfg)
+	simRec := obs.NewRecorder()
+	cs.Trace = simRec
+	mustRunNetwork(t, cs, e.Net, e.Specs, tile.Intermittent, power.ContinuousPower, 1)
+
+	type axis struct {
+		name           string
+		events         []obs.Event
+		ops            int64
+		timeJ, energyJ float64
+	}
+	sides := []*axis{
+		{name: "engine", events: engRec.Events()},
+		{name: "cost-sim", events: simRec.Events()},
+	}
+	for _, side := range sides {
+		if len(side.events) == 0 {
+			t.Fatalf("%s emitted no events", side.name)
+		}
+		// Both backends stamp simulated seconds: timestamps must be
+		// monotone non-decreasing on each axis (instant events may share
+		// a stamp with the span that produced them).
+		for i := 1; i < len(side.events); i++ {
+			if side.events[i].Time < side.events[i-1].Time-1e-12 {
+				t.Fatalf("%s event %d (%s): time %g before %g",
+					side.name, i, side.events[i].Kind, side.events[i].Time, side.events[i-1].Time)
+			}
+		}
+		for i := range side.events {
+			if ev := &side.events[i]; ev.Kind == obs.KindOpCommit {
+				side.ops++
+				side.timeJ += ev.Dur
+				side.energyJ += ev.Energy
+			}
+		}
+	}
+	eng, sim := sides[0], sides[1]
+	if eng.ops != sim.ops {
+		t.Fatalf("engine committed %d ops, cost-sim %d", eng.ops, sim.ops)
+	}
+	relTol := func(got, want float64) bool {
+		return math.Abs(got-want) <= 1e-9*math.Max(1, math.Abs(want))
+	}
+	if !relTol(eng.timeJ, sim.timeJ) {
+		t.Errorf("op-commit time: engine %g s, cost-sim %g s", eng.timeJ, sim.timeJ)
+	}
+	if !relTol(eng.energyJ, sim.energyJ) {
+		t.Errorf("op-commit energy: engine %g J, cost-sim %g J", eng.energyJ, sim.energyJ)
+	}
+	if eng.energyJ <= 0 {
+		t.Error("calibrated engine trace carries no energy")
+	}
+}
+
+// TestEngineCostSimOverlayTrace renders both backends into one streamed
+// Chrome trace as two process sections and checks the combined artifact
+// parses, keeps the sections on distinct pids, and stays monotone
+// non-decreasing inside each section.
+func TestEngineCostSimOverlayTrace(t *testing.T) {
+	e, samples := newTestEngine(t, 31, 3)
+	names := make([]string, len(e.Specs))
+	for i := range e.Specs {
+		names[i] = e.Specs[i].Name
+	}
+
+	var buf strings.Builder
+	st := obs.NewStreamTracer(&buf, nil)
+	st.NextProcess("cost-sim", names)
+	cs := NewCostSim(e.Cfg)
+	cs.Trace = st
+	mustRunNetwork(t, cs, e.Net, e.Specs, tile.Intermittent, power.StrongPower, 1)
+
+	st.NextProcess("engine", names)
+	e.Trace = st
+	e.Price = NewTracePricer(power.StrongPower, e.Cfg)
+	if _, err := e.Infer(samples[0].X, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &tr); err != nil {
+		t.Fatalf("overlay trace is not valid JSON: %v", err)
+	}
+	procs := map[string]int{}
+	lastTs := map[int]float64{}
+	eventsPerPid := map[int]int{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Name == "process_name" {
+			if n, ok := ev.Args["name"].(string); ok {
+				procs[n] = ev.Pid
+			}
+			continue
+		}
+		if ev.Ph == "M" || ev.Cat == "layer-end" {
+			// Layer-end spans are stamped at their layer's *start* time
+			// (the encoder rewinds ts by the duration), so they do not
+			// participate in the emission-order monotonicity invariant.
+			continue
+		}
+		if ev.Ts < lastTs[ev.Pid]-1e-6 {
+			t.Fatalf("pid %d: ts %g before %g", ev.Pid, ev.Ts, lastTs[ev.Pid])
+		}
+		lastTs[ev.Pid] = ev.Ts
+		eventsPerPid[ev.Pid]++
+	}
+	simPid, ok := procs["cost-sim"]
+	if !ok {
+		t.Fatalf("no cost-sim process section (got %v)", procs)
+	}
+	engPid, ok := procs["engine"]
+	if !ok {
+		t.Fatalf("no engine process section (got %v)", procs)
+	}
+	if simPid == engPid {
+		t.Fatalf("both sections share pid %d", simPid)
+	}
+	if eventsPerPid[simPid] == 0 || eventsPerPid[engPid] == 0 {
+		t.Fatalf("empty section: cost-sim %d events, engine %d events",
+			eventsPerPid[simPid], eventsPerPid[engPid])
+	}
+}
+
+// TestTracePricerSupplies pins the pricer's supply handling: recharge
+// dead-time is one full buffer at the harvest power, and free under a
+// continuous supply.
+func TestTracePricerSupplies(t *testing.T) {
+	cfg := tile.DefaultConfig()
+	harv := NewTracePricer(power.WeakPower, cfg)
+	dt, e := harv.Price(obs.KindCharge, 0, 0, 0)
+	if want := harv.M.BufferJ / power.WeakPower.Power; math.Abs(dt-want) > 1e-12 || e != 0 {
+		t.Errorf("harvest charge = (%g, %g), want (%g, 0)", dt, e, want)
+	}
+	cont := NewTracePricer(power.ContinuousPower, cfg)
+	if dt, e := cont.Price(obs.KindCharge, 0, 0, 0); dt != 0 || e != 0 {
+		t.Errorf("continuous charge = (%g, %g), want free", dt, e)
+	}
+	if dt, e := cont.Price(obs.KindOpCommit, 100, 200, 64); dt <= 0 || e <= 0 {
+		t.Errorf("op commit priced (%g, %g), want positive", dt, e)
+	}
+}

@@ -27,6 +27,12 @@ type CycleStat struct {
 	Start   float64 // power-on time
 	OnTime  float64 // powered span
 	OffTime float64 // subsequent charging dead-time
+	// Energy is the measured draw of the cycle: the sum of op-commit,
+	// preserve, recovery and failure event energies stamped inside it.
+	// Layer-end events are excluded — they carry rollups of the same
+	// draws and would double-count. This is what the budget audit
+	// (energy.AuditTrace) checks against the static bounds.
+	Energy float64
 }
 
 // Utilization returns the fraction of the cycle's wall-clock the device
@@ -72,10 +78,24 @@ func Collect(events []Event) *RunStats {
 		s.Layers = append(s.Layers, LayerStat{Layer: li})
 		return &s.Layers[len(s.Layers)-1]
 	}
-	var cycleStart float64
+	var cycleStart, cycleEnergy, lastT float64
 	inCycle := false
 	for i := range events {
 		ev := &events[i]
+		// Track the run's end time for a trace cut off mid power-cycle.
+		// Layer-end stamps its end time directly; span kinds stamp their
+		// start, so the span end is Time+Dur.
+		if t := ev.Time + ev.Dur; ev.Kind != KindLayerEnd && t > lastT {
+			lastT = t
+		} else if ev.Kind == KindLayerEnd && ev.Time > lastT {
+			lastT = ev.Time
+		}
+		if inCycle {
+			switch ev.Kind {
+			case KindOpCommit, KindPreserve, KindRecovery, KindFailure:
+				cycleEnergy += ev.Energy
+			}
+		}
 		switch ev.Kind {
 		case KindLayerStart:
 			cur = ev.Layer
@@ -103,12 +123,14 @@ func Collect(events []Event) *RunStats {
 			layer(ev.Layer).ReExec++
 		case KindPowerOn:
 			cycleStart = ev.Time
+			cycleEnergy = 0
 			inCycle = true
 		case KindPowerOff:
 			if inCycle {
 				s.Cycles = append(s.Cycles, CycleStat{
 					Start:  cycleStart,
 					OnTime: ev.Time - cycleStart,
+					Energy: cycleEnergy,
 				})
 				inCycle = false
 			}
@@ -117,6 +139,16 @@ func Collect(events []Event) *RunStats {
 				s.Cycles[n-1].OffTime += ev.Dur
 			}
 		}
+	}
+	if inCycle {
+		// The trace was cut off mid power-cycle (an aborted run, or a
+		// stream truncated by the caller): close the partial cycle at the
+		// last stamped event time so its work is still accounted for.
+		s.Cycles = append(s.Cycles, CycleStat{
+			Start:  cycleStart,
+			OnTime: lastT - cycleStart,
+			Energy: cycleEnergy,
+		})
 	}
 	sort.Slice(s.Layers, func(i, j int) bool { return s.Layers[i].Layer < s.Layers[j].Layer })
 	s.Total.Layer = -1

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// Collect must degrade gracefully at the edges the CLIs can feed it:
+// an empty recording, a trace cut off mid power-cycle (aborted run or
+// truncated stream), and degenerate zero-duration cycles.
+
+func TestCollectEmpty(t *testing.T) {
+	s := Collect(nil)
+	if s.Events != 0 || len(s.Layers) != 0 || len(s.Cycles) != 0 {
+		t.Fatalf("empty collect = %+v", s)
+	}
+	if s.Total.Ops != 0 || s.Total.Latency != 0 {
+		t.Errorf("empty total = %+v", s.Total)
+	}
+	// Filling a registry from an empty run registers the histograms with
+	// zero observations rather than panicking.
+	m := NewMetrics()
+	s.Fill(m)
+	if got := m.Counter("run/ops").Value(); got != 0 {
+		t.Errorf("run/ops = %g, want 0", got)
+	}
+}
+
+func TestCollectPartialCycle(t *testing.T) {
+	evs := []Event{
+		{Kind: KindPowerOn, Time: 1, Layer: -1, Op: -1},
+		{Kind: KindLayerStart, Time: 1, Layer: 0},
+		{Kind: KindOpCommit, Time: 2, Dur: 3, Layer: 0, Op: 0, Energy: 5e-6},
+		// No power-off: the trace ends mid-cycle.
+	}
+	s := Collect(evs)
+	if len(s.Cycles) != 1 {
+		t.Fatalf("got %d cycles, want 1 partial", len(s.Cycles))
+	}
+	c := s.Cycles[0]
+	// The partial cycle closes at the last stamped instant: the op span's
+	// end, Time+Dur = 5.
+	if c.Start != 1 || math.Abs(c.OnTime-4) > 1e-12 {
+		t.Errorf("partial cycle = %+v, want Start 1 OnTime 4", c)
+	}
+	if math.Abs(c.Energy-5e-6) > 1e-18 {
+		t.Errorf("partial cycle energy = %g, want 5e-6", c.Energy)
+	}
+}
+
+func TestCollectCycleEnergyExcludesLayerEnd(t *testing.T) {
+	evs := []Event{
+		{Kind: KindPowerOn, Time: 0, Layer: -1, Op: -1},
+		{Kind: KindLayerStart, Time: 0, Layer: 0},
+		{Kind: KindOpCommit, Time: 0, Dur: 1, Layer: 0, Op: 0, Energy: 2e-6},
+		{Kind: KindPreserve, Time: 1, Layer: 0, Op: 0, Write: 8, Energy: 1e-6},
+		{Kind: KindLayerEnd, Time: 1, Dur: 1, Layer: 0, Energy: 3e-6}, // rollup of the above
+		{Kind: KindPowerOff, Time: 1, Layer: -1, Op: -1},
+	}
+	s := Collect(evs)
+	if len(s.Cycles) != 1 {
+		t.Fatalf("got %d cycles, want 1", len(s.Cycles))
+	}
+	if got := s.Cycles[0].Energy; math.Abs(got-3e-6) > 1e-18 {
+		t.Errorf("cycle energy = %g, want 3e-6 (layer-end rollup must not double-count)", got)
+	}
+}
+
+func TestCycleStatUtilization(t *testing.T) {
+	cases := []struct {
+		c    CycleStat
+		want float64
+	}{
+		{CycleStat{OnTime: 1, OffTime: 3}, 0.25},
+		{CycleStat{OnTime: 2, OffTime: 0}, 1},
+		{CycleStat{}, 0},                       // zero-duration cycle
+		{CycleStat{OffTime: 5}, 0},             // never powered
+		{CycleStat{OnTime: -1, OffTime: 1}, 0}, // defensive: non-positive total
+	}
+	for i, tc := range cases {
+		if got := tc.c.Utilization(); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("case %d: Utilization(%+v) = %g, want %g", i, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestCollectZeroDurationCycle(t *testing.T) {
+	// Power-on immediately followed by power-off: a brown-out before any
+	// work. The cycle exists, carries nothing, and utilization is 0.
+	evs := []Event{
+		{Kind: KindPowerOn, Time: 2, Layer: -1, Op: -1},
+		{Kind: KindPowerOff, Time: 2, Layer: -1, Op: -1},
+		{Kind: KindCharge, Time: 2, Dur: 1, Layer: -1, Op: -1},
+	}
+	s := Collect(evs)
+	if len(s.Cycles) != 1 {
+		t.Fatalf("got %d cycles, want 1", len(s.Cycles))
+	}
+	c := s.Cycles[0]
+	if c.OnTime != 0 || c.OffTime != 1 || c.Energy != 0 {
+		t.Errorf("zero-duration cycle = %+v", c)
+	}
+	if got := c.Utilization(); got != 0 {
+		t.Errorf("utilization = %g, want 0", got)
+	}
+}

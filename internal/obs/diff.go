@@ -151,6 +151,46 @@ func WriteDiffTable(w io.Writer, d *StatsDiff, names []string) error {
 	return err
 }
 
+// WriteHistDiffTable renders a cross-run histogram comparison: one row
+// per histogram present in either registry, with n, mean and the
+// p50/p95/p99 tails as before → after (±percent) cells — the
+// distribution-level complement to WriteDiffTable's per-layer means,
+// fed by `isim -compare` when both inputs are histogram CSV exports.
+func WriteHistDiffTable(w io.Writer, before, after *Metrics) error {
+	var buf bytes.Buffer
+	tw := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	fprintln(tw, "histogram\tn\tmean\tp50\tp95\tp99")
+	names := make([]string, 0, len(before.Histograms())+len(after.Histograms()))
+	seen := map[string]bool{}
+	for _, m := range []*Metrics{before, after} {
+		for _, h := range m.Histograms() {
+			if !seen[h.Name] {
+				seen[h.Name] = true
+				names = append(names, h.Name)
+			}
+		}
+	}
+	get := func(m *Metrics, name string) *Histogram {
+		if h, ok := m.hists[name]; ok {
+			return h
+		}
+		return &Histogram{Name: name}
+	}
+	for _, name := range names {
+		b, a := get(before, name), get(after, name)
+		q := func(p float64) string { return fmtDeltaCell(delta(b.Quantile(p), a.Quantile(p)), 1, "") }
+		fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n", name,
+			fmtDeltaCell(delta(float64(b.N), float64(a.N)), 1, ""),
+			fmtDeltaCell(delta(b.Mean(), a.Mean()), 1, ""),
+			q(0.50), q(0.95), q(0.99))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
 // diffCSVHeader is the long-form cross-run diff schema: one row per
 // layer per metric, so the table loads straight into pandas/R without
 // a wide-format column explosion.

@@ -56,6 +56,62 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum / float64(h.N)
 }
 
+// Merge folds other's observations into h. Both histograms must share
+// the same bucket bounds — merging across shapes would silently
+// misattribute counts, so a mismatch panics like a malformed
+// registration does.
+func (h *Histogram) Merge(other *Histogram) {
+	if len(other.Bounds) != len(h.Bounds) {
+		panic("obs: cannot merge histograms with different bucket counts: " + h.Name)
+	}
+	for i, b := range h.Bounds {
+		if other.Bounds[i] != b {
+			panic("obs: cannot merge histograms with different bucket bounds: " + h.Name)
+		}
+	}
+	for i, cnt := range other.Counts {
+		h.Counts[i] += cnt
+	}
+	h.Sum += other.Sum
+	h.N += other.N
+}
+
+// Quantile estimates the p-quantile (p in [0,1]) of the observed values
+// by linear interpolation inside the bucket holding the target rank,
+// Prometheus-style: the first bucket interpolates from 0 (the package's
+// grids cover non-negative observables), and a rank landing in the
+// overflow bucket reports the last finite bound — the histogram cannot
+// see beyond it. Returns 0 when empty.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.N == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.N)
+	var cum float64
+	for i, cnt := range h.Counts {
+		prev := cum
+		cum += float64(cnt)
+		if cum < rank || cnt == 0 {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		return lo + (h.Bounds[i]-lo)*(rank-prev)/float64(cnt)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // Metrics is a registry of counters and histograms. Lookups are
 // get-or-create; enumeration preserves registration order so rendered
 // tables are stable.
@@ -112,6 +168,18 @@ func (m *Metrics) Counters() []*Counter {
 		out[i] = m.counters[name]
 	}
 	return out
+}
+
+// Merge folds every counter and histogram of other into m, creating
+// missing entries with other's shape — the fleet-rollup primitive: each
+// Hub device fills its own registry and Merge folds them into one.
+func (m *Metrics) Merge(other *Metrics) {
+	for _, c := range other.Counters() {
+		m.Counter(c.Name).Add(c.Value())
+	}
+	for _, h := range other.Histograms() {
+		m.Histogram(h.Name, h.Bounds).Merge(h)
+	}
 }
 
 // Histograms returns all histograms in registration order.

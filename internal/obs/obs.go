@@ -186,3 +186,106 @@ func (c *StepClock) Emit(kind Kind, layer int, op int64, read, write int64) {
 	})
 	c.step++
 }
+
+// Pricer converts one functional-execution event into simulated seconds
+// and joules. The obs package deliberately imports nothing, so the
+// implementation lives with the cost model's importers (see
+// hawaii.NewTracePricer, which prices against energy.Model — the same
+// table the cost simulator and the regionbudget analyzer read); obs only
+// defines the contract.
+type Pricer interface {
+	// Price returns the simulated duration (seconds) and energy (joules)
+	// of one event of the given kind: macs is the op's multiply-
+	// accumulate count, read/write its NVM traffic in bytes. Kinds a
+	// pricer does not model must return (0, 0).
+	Price(kind Kind, macs, read, write int64) (dt, energy float64)
+}
+
+// EnergyClock drives a Tracer from functional execution, like StepClock,
+// but calibrates the timeline against a cost model: with a Pricer every
+// emission advances simulated seconds and accumulates joules, so
+// functional-engine traces land on the same microsecond/joule axis as
+// cost-simulator traces of the same schedule and overlay in one Chrome
+// trace. With a nil Pricer the clock degrades to StepClock semantics —
+// one abstract step per event, no energy — so default engine traces are
+// unchanged.
+//
+// The clock mirrors the cost simulator's emission conventions so
+// Collect and the sinks treat both backends identically: an op-commit
+// is a span whose duration covers reads, compute and the overlapped
+// preservation write, followed by a synthesized preserve instant
+// carrying the write bytes; layer-end events carry the layer's
+// inclusive time span and energy delta; charge events are spans of
+// recharge dead-time. All float arithmetic of the calibration is
+// confined here and in the Pricer, keeping the Q15 engine float-free.
+type EnergyClock struct {
+	T Tracer
+	P Pricer // nil: step semantics (1 step per event, no energy)
+
+	now, joules      float64
+	layerT0, layerE0 float64
+}
+
+// Enabled reports whether emissions reach a recording tracer.
+//
+//iprune:hotpath
+func (c *EnergyClock) Enabled() bool { return c.T != nil && c.T.Enabled() }
+
+// Now returns the current simulated time: seconds with a Pricer,
+// preservation steps without.
+func (c *EnergyClock) Now() float64 { return c.now }
+
+// EnergyJ returns the joules accumulated so far (0 without a Pricer).
+func (c *EnergyClock) EnergyJ() float64 { return c.joules }
+
+// Emit records one event at the current time and advances the clock by
+// the event's priced duration (one step without a Pricer). Span kinds
+// (op-commit, charge, recovery) carry the priced duration; an op-commit
+// whose write is nonzero is followed by a synthesized preserve instant
+// at the op's end, mirroring the cost simulator's emission order, with
+// the write's cost already folded into the op span (the accelerator
+// overlaps preservation with compute).
+//
+//iprune:hotpath
+//iprune:allow-float timeline calibration integrates seconds and joules; confined here by design (see type doc)
+//iprune:allow-budget host-side trace bookkeeping, not device execution; the Pricer call prices regions, it does not run inside one
+func (c *EnergyClock) Emit(kind Kind, layer int, op int64, macs, read, write int64) {
+	if !c.Enabled() {
+		return
+	}
+	step := c.P == nil
+	var dt, e float64
+	if step {
+		dt = 1
+	} else {
+		dt, e = c.P.Price(kind, macs, read, write)
+	}
+	ev := Event{Kind: kind, Time: c.now, Layer: layer, Op: op, Energy: e, Read: read, Write: write}
+	switch kind {
+	case KindLayerStart:
+		c.layerT0, c.layerE0 = c.now, c.joules
+	case KindLayerEnd:
+		// Layer-end rollup: inclusive span and energy delta since the
+		// matching layer-start, so per-layer sums reproduce run totals.
+		ev.Dur = c.now - c.layerT0
+		ev.Energy = c.joules - c.layerE0
+	case KindOpCommit, KindCharge, KindRecovery:
+		if !step {
+			ev.Dur = dt
+		}
+	}
+	if kind == KindOpCommit {
+		// The preservation write is priced into the op span but rendered
+		// as its own instant below, like the cost simulator does.
+		ev.Write = 0
+	}
+	c.T.Emit(ev)
+	c.now += dt
+	c.joules += e
+	if kind == KindOpCommit && write > 0 {
+		c.T.Emit(Event{Kind: KindPreserve, Time: c.now, Layer: layer, Op: op, Write: write})
+		if step {
+			c.now++
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts the standard runtime/pprof profiles behind the
+// CLIs' -cpuprofile/-memprofile flags. Either path may be empty (that
+// profile is skipped). The returned stop function ends the CPU profile
+// and writes the heap profile (after a GC, so it reflects live memory,
+// not garbage); callers must run it on every exit path that should
+// produce profiles — a log.Fatal bypasses deferred stops and loses
+// them, which is acceptable for an aborted run.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			_ = cpuFile.Close() //iprune:allow-err the profile failed to start and wins; the empty file is abandoned
+			return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = err
+			}
+		}
+		if memPath != "" {
+			runtime.GC() // materialize the live heap before snapshotting
+			err := WriteFile(memPath, func(w io.Writer) error {
+				return pprof.WriteHeapProfile(w)
+			})
+			if err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

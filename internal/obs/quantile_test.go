@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{Name: "q", Bounds: []float64{1, 2, 4}, Counts: make([]int64, 4)}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+	// Four observations, one per finite bucket plus one overflow.
+	for _, v := range []float64{0.5, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 0},    // first bucket interpolates from 0
+		{0.25, 1}, // rank 1 lands exactly on the first bound
+		{0.5, 2},  // rank 2 on the second bound
+		{0.75, 4}, // rank 3 on the third
+		{1, 4},    // overflow clamps to the last finite bound
+		{-1, 0},   // p clamped into [0,1]
+		{2, 4},
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	// Interpolation inside a bucket: 10 observations in (1,2] put the
+	// median in the middle of that bucket's span.
+	h2 := &Histogram{Name: "q2", Bounds: []float64{1, 2}, Counts: make([]int64, 3)}
+	for i := 0; i < 10; i++ {
+		h2.Observe(1.5)
+	}
+	if got := h2.Quantile(0.5); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("uniform-bucket median = %g, want 1.5", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	bounds := []float64{1, 10}
+	a := &Histogram{Name: "m", Bounds: bounds, Counts: make([]int64, 3)}
+	b := &Histogram{Name: "m", Bounds: bounds, Counts: make([]int64, 3)}
+	a.Observe(0.5)
+	b.Observe(5)
+	b.Observe(50)
+	a.Merge(b)
+	if a.N != 3 || math.Abs(a.Sum-55.5) > 1e-12 {
+		t.Errorf("merged N=%d Sum=%g, want 3/55.5", a.N, a.Sum)
+	}
+	for i, want := range []int64{1, 1, 1} {
+		if a.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, a.Counts[i], want)
+		}
+	}
+	// b is untouched.
+	if b.N != 2 {
+		t.Errorf("merge mutated its argument: N=%d", b.N)
+	}
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("merging mismatched bounds must panic")
+		}
+		if !strings.Contains(r.(string), "bounds") && !strings.Contains(r.(string), "bucket") {
+			t.Errorf("unexpected panic %v", r)
+		}
+	}()
+	a.Merge(&Histogram{Name: "m", Bounds: []float64{1, 11}, Counts: make([]int64, 3)})
+}
+
+func TestMetricsMerge(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	a.Counter("x").Add(2)
+	b.Counter("x").Add(3)
+	b.Counter("only_b").Add(7)
+	b.Histogram("h", []float64{1, 2}).Observe(1.5)
+	a.Merge(b)
+	if got := a.Counter("x").Value(); got != 5 {
+		t.Errorf("merged x = %g, want 5", got)
+	}
+	if got := a.Counter("only_b").Value(); got != 7 {
+		t.Errorf("merged only_b = %g, want 7 (created from other's shape)", got)
+	}
+	hs := a.Histograms()
+	if len(hs) != 1 || hs[0].N != 1 {
+		t.Errorf("merged histograms = %v", hs)
+	}
+}

@@ -364,7 +364,8 @@ func WriteSummary(w io.Writer, s *RunStats, m *Metrics, names []string) error {
 			fmt.Fprintf(&buf, "  %-24s %.6g\n", c.Name, c.Value())
 		}
 		for _, h := range m.Histograms() {
-			fmt.Fprintf(&buf, "histogram %s: n=%d mean=%.4g\n", h.Name, h.N, h.Mean())
+			fmt.Fprintf(&buf, "histogram %s: n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g\n",
+				h.Name, h.N, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
 			for i, cnt := range h.Counts {
 				if cnt == 0 {
 					continue

@@ -157,6 +157,17 @@ func TestSupplies(t *testing.T) {
 
 func TestWriteRunTraces(t *testing.T) {
 	results := fakeResults(t)
+	// Give one app a dataset so its section pair includes the functional
+	// engine's calibrated overlay next to the cost-sim run.
+	ds, err := LoadData("HAR", Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.App == "HAR" {
+			r.Dataset = ds
+		}
+	}
 	var buf strings.Builder
 	if err := WriteRunTraces(&buf, results, 1); err != nil {
 		t.Fatal(err)
@@ -179,11 +190,12 @@ func TestWriteRunTraces(t *testing.T) {
 			}
 		}
 	}
-	// One process group per app, labelled with the traced variant, with
-	// distinct pids.
+	// One cost-sim process group per app, labelled with the traced
+	// variant and backend, with distinct pids; the dataset-carrying app
+	// additionally gets the engine overlay section.
 	pids := map[int]bool{}
 	for _, app := range models.Names() {
-		pid, ok := procs[app+" iPrune"]
+		pid, ok := procs[app+" iPrune cost-sim"]
 		if !ok {
 			t.Errorf("trace missing process group for %s (got %v)", app, procs)
 			continue
@@ -192,6 +204,11 @@ func TestWriteRunTraces(t *testing.T) {
 	}
 	if len(pids) != len(models.Names()) {
 		t.Errorf("process groups share pids: %v", procs)
+	}
+	if pid, ok := procs["HAR iPrune engine"]; !ok {
+		t.Errorf("trace missing the engine overlay section (got %v)", procs)
+	} else if pids[pid] {
+		t.Error("engine overlay section shares a pid with a cost-sim section")
 	}
 	if len(tr.TraceEvents) <= len(procs) {
 		t.Error("trace holds no simulation events")

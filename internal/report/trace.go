@@ -23,9 +23,12 @@ func specNames(specs []tile.LayerSpec) []string {
 // WriteRunTraces streams one observed intermittent inference per
 // evaluated application into a single Chrome trace: each app's iPrune
 // variant (falling back to the last variant present) simulated under
-// the strong supply, rendered as its own Perfetto process group. The
-// events stream straight to w, so a full-scale run never holds a trace
-// in memory.
+// the strong supply, rendered as its own Perfetto process group, plus
+// — when the app carries a dataset — an overlay section of the
+// functional engine executing the same schedule with its trace
+// calibrated to the shared energy model, so both backends read on one
+// microsecond/joule axis. The events stream straight to w, so a
+// full-scale run never holds a trace in memory.
 func WriteRunTraces(w io.Writer, results []*AppResult, seed int64) error {
 	st := obs.NewStreamTracer(w, nil)
 	cfg := tile.DefaultConfig()
@@ -40,11 +43,26 @@ func WriteRunTraces(w io.Writer, results []*AppResult, seed int64) error {
 				break
 			}
 		}
-		st.NextProcess(r.App+" "+v.Name, specNames(r.Specs))
+		st.NextProcess(r.App+" "+v.Name+" cost-sim", specNames(r.Specs))
 		cs := hawaii.NewCostSim(cfg)
 		cs.Trace = st
 		if _, err := cs.RunNetwork(v.Net, r.Specs, tile.Intermittent, power.StrongPower, seed); err != nil {
 			st.Close() //iprune:allow-err surfacing the simulation error; the aborted trace is discarded
+			return err
+		}
+		if r.Dataset == nil || len(r.Dataset.Test) == 0 {
+			continue
+		}
+		st.NextProcess(r.App+" "+v.Name+" engine", specNames(r.Specs))
+		eng, err := hawaii.NewEngine(v.Net, r.Specs, cfg)
+		if err != nil {
+			st.Close() //iprune:allow-err surfacing the engine error; the aborted trace is discarded
+			return err
+		}
+		eng.Trace = st
+		eng.Price = hawaii.NewTracePricer(power.StrongPower, cfg)
+		if _, err := eng.Infer(r.Dataset.Test[0].X, nil); err != nil {
+			st.Close() //iprune:allow-err surfacing the engine error; the aborted trace is discarded
 			return err
 		}
 	}

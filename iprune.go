@@ -44,12 +44,14 @@ import (
 	"iprune/internal/core"
 	"iprune/internal/dataset"
 	"iprune/internal/device"
+	"iprune/internal/energy"
 	"iprune/internal/hawaii"
 	"iprune/internal/models"
 	"iprune/internal/nn"
 	"iprune/internal/obs"
 	"iprune/internal/power"
 	"iprune/internal/quant"
+	"iprune/internal/tensor"
 	"iprune/internal/tile"
 )
 
@@ -442,3 +444,96 @@ type Trace = power.Trace
 // FailEveryN re-exports the functional engine's deterministic failure
 // injector (fails at every N-th preservation boundary).
 type FailEveryN = hawaii.EveryN
+
+// ---------------------------------------------------------------------------
+// Unified timeline: calibrated engine traces, telemetry hub, budget audit
+
+// ObserveEngine runs one functional-engine inference of the network
+// with its trace calibrated against the shared energy cost model: the
+// emitted events are stamped in the same simulated seconds and joules
+// CostSim stamps, so an engine section and a cost-sim section of the
+// same model and supply overlay on one time axis (stream both into one
+// TraceStreamer with NextProcess between them). The input sample is
+// synthesized from the model's input shape with the given seed; inj may
+// be nil (no injected failures) or a FailEveryN to exercise the
+// recovery and recharge pricing.
+func ObserveEngine(net *Network, sup Supply, seed int64, tr Tracer, inj *FailEveryN) error {
+	shape, err := models.InputShape(net.Name)
+	if err != nil {
+		return err
+	}
+	e, err := Engine(net)
+	if err != nil {
+		return err
+	}
+	e.Trace = tr
+	e.Price = hawaii.NewTracePricer(sup, tile.DefaultConfig())
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(shape...)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.Float64()*2 - 1)
+	}
+	var fi hawaii.FailureInjector
+	if inj != nil {
+		fi = inj
+	}
+	_, err = e.Infer(x, fi)
+	return err
+}
+
+// BudgetAudit is the static-vs-measured energy audit of one recorded
+// run (see AuditTrace).
+type BudgetAudit = energy.AuditReport
+
+// AuditTrace cross-checks a recorded run's measured energy against the
+// static power-cycle budget the regionbudget analyzer enforces: every
+// measured atomic region (op commit, recovery, preservation write,
+// failed attempt) must fit one buffer charge, and every completed power
+// cycle's draw must be explained by one charge plus the supply's
+// harvest. The trace must carry energy — record a Simulate run, or an
+// ObserveEngine run (whose pricing the audit then checks against the
+// same model). Use AuditReport.WriteReport to render, Failed to gate.
+func AuditTrace(events []TraceEvent, sup Supply) *BudgetAudit {
+	hw := sup.Power
+	if sup.Continuous {
+		hw = 0
+	}
+	return energy.Default().AuditTrace(events, hw, sup.Jitter)
+}
+
+// CountRegionFindings reads an `iprunelint -json` report and counts its
+// regionbudget findings — the static half of the budget audit. Assign
+// the count to an AuditReport's StaticFindings to fold the static
+// cross-check into its verdict.
+func CountRegionFindings(r io.Reader) (int, error) { return energy.CountRegionFindings(r) }
+
+// TelemetryHub re-exports the concurrency-safe fleet telemetry
+// collector: per-device tracer lanes sharded across owning goroutines,
+// merged into per-device stats, fleet rollup metrics and one
+// multi-process trace. See obs.Hub for the ownership model.
+type TelemetryHub = obs.Hub
+
+// TelemetryDevice is one device's tracer lane into a TelemetryHub.
+type TelemetryDevice = obs.HubDevice
+
+// NewTelemetryHub starts a hub with the given shard count (clamped to
+// >= 1); Close it after all producers finish.
+func NewTelemetryHub(shards int) *TelemetryHub { return obs.NewHub(shards) }
+
+// ReadHistogramsCSV parses a WriteHistogramsCSV export back into a
+// metrics registry.
+func ReadHistogramsCSV(r io.Reader) (*Metrics, error) { return obs.ReadHistogramsCSV(r) }
+
+// WriteHistogramDiffTable renders a cross-run histogram comparison
+// (n, mean, p50/p95/p99 per histogram) as a terminal table.
+func WriteHistogramDiffTable(w io.Writer, before, after *Metrics) error {
+	return obs.WriteHistDiffTable(w, before, after)
+}
+
+// StartProfiles starts the runtime/pprof CPU and/or heap profiles
+// behind the CLIs' -cpuprofile/-memprofile flags; either path may be
+// empty. Run the returned stop function before exiting to finalize the
+// profile files.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	return obs.StartProfiles(cpuPath, memPath)
+}

@@ -35,7 +35,17 @@ else
 fi
 
 echo "== iprunelint"
-go run ./cmd/iprunelint -cache -json ./...
+status=0
+go run ./cmd/iprunelint -cache -cachestats -json ./... > "$tmp/iprunelint.json" || status=$?
+cat "$tmp/iprunelint.json"
+[ "$status" -eq 0 ] || exit "$status"
+
+# Budget audit: the measured energy of an intermittent run must respect
+# the same per-power-cycle bound the regionbudget analyzer proves
+# statically, and the lint report above must carry zero regionbudget
+# findings.
+echo "== budget audit"
+go run ./cmd/isim -model HAR -power weak -audit -auditlint "$tmp/iprunelint.json"
 
 # Regenerate the findings as SARIF for code scanning and validate the
 # emitter's output shape. Exit 1 means findings (already gated by the
