@@ -33,9 +33,10 @@ import (
 
 // defaultHot matches the kernel/engine benchmarks whose per-op numbers
 // are stable enough to gate on: the fixed-point kernels, the HAWAII⁺
-// engine, the sparse formats, the cost simulator and the streaming
-// trace encoder (whose zero-alloc Emit budget the alloc gate enforces).
-const defaultHot = `Gemm|Conv|Engine|BSR|CostSim|Schedule|StreamTracer`
+// engine, the sparse formats, the cost simulator, the streaming trace
+// encoder (whose zero-alloc Emit budget the alloc gate enforces) and
+// the sharded power sweep (sequential and pooled widths).
+const defaultHot = `Gemm|Conv|Engine|BSR|CostSim|Schedule|StreamTracer|PowerSweep`
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	iprunelint [-list] [-json] [-sarif] [-cache] [-cachestats] [-cachedir DIR] [-dir DIR] [packages]
+//	iprunelint [-list] [-json] [-sarif] [-workers N] [-cache] [-cachestats] [-cachedir DIR] [-dir DIR] [packages]
 //
 // Packages default to ./... relative to the module root, which is found
 // by walking up from -dir (default: the working directory). The
@@ -30,6 +30,11 @@
 // With -cachestats (implies -cache), the accounting expands to hits,
 // misses and invalidations plus the re-analyzed package list.
 //
+// With -workers N, analysis fans out over the internal/pool worker pool
+// — one task per (package, analyzer) pair plus one per module-level
+// analyzer. Output is byte-identical to the sequential driver for any N
+// (-workers 0 means one worker per CPU; 1 is fully sequential).
+//
 // Exit status: 0 clean, 1 findings reported, 2 operational error
 // (unparseable source, type-check failure, bad invocation).
 package main
@@ -41,6 +46,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"iprune/internal/analysis"
 )
@@ -70,8 +76,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	useCache := fs.Bool("cache", false, "reuse cached diagnostics for packages whose inputs are unchanged")
 	cacheStats := fs.Bool("cachestats", false, "print cache hit/miss/invalidation accounting (implies -cache)")
 	cacheDir := fs.String("cachedir", "", "cache directory (default: <module root>/.iprunelint.cache)")
+	workers := fs.Int("workers", 1, "parallel analysis workers (0 = one per CPU, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
 	}
 	if *asJSON && *asSARIF {
 		fmt.Fprintln(stderr, "iprunelint: -json and -sarif are mutually exclusive")
@@ -84,6 +94,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *list {
 		for _, a := range analysis.All() {
 			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+			if a.Allow != "" {
+				fmt.Fprintf(stdout, "%-14s   suppress with //iprune:%s <reason>\n", "", a.Allow)
+			}
 		}
 		return 0
 	}
@@ -122,14 +135,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			cdir = filepath.Join(root, ".iprunelint.cache")
 		}
 		c := &analysis.Cache{Dir: cdir, Root: root}
-		diags = analysis.RunCached(analysis.All(), pkgs, loader.Directives(), c, loader.Packages())
+		diags = analysis.RunCachedParallel(analysis.All(), pkgs, loader.Directives(), c, loader.Packages(), *workers)
 		if *cacheStats {
 			c.Stats.Detail(stderr)
 		} else {
 			c.Stats.Summary(stderr)
 		}
 	} else {
-		diags = analysis.Run(analysis.All(), pkgs, loader.Directives())
+		diags = analysis.RunParallel(analysis.All(), pkgs, loader.Directives(), *workers)
 	}
 	diags = append(diags, loader.Directives().Problems...)
 	analysis.Sort(diags)

@@ -152,10 +152,92 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list: exit %d", code)
 	}
-	for _, name := range []string{"floatpurity", "warhazard", "parsafe", "floatflow", "allocflow", "errcheck", "regionbudget"} {
+	for _, name := range []string{"floatpurity", "warhazard", "parsafe", "floatflow", "allocflow", "errcheck", "regionbudget", "lockorder", "goleak"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list missing %s:\n%s", name, stdout.String())
 		}
+	}
+	// Each analyzer with an escape hatch names its suppression directive.
+	for _, dir := range []string{"//iprune:allow-float", "//iprune:allow-conc", "//iprune:allow-budget"} {
+		if !strings.Contains(stdout.String(), dir) {
+			t.Errorf("-list missing directive %s:\n%s", dir, stdout.String())
+		}
+	}
+}
+
+// dirtyModule declares findings for several analyzers across multiple
+// packages — per-package and module-level, including the concflow pair —
+// so driver-equivalence tests exercise every task kind.
+func dirtyModule(t *testing.T) string {
+	return writeModule(t, map[string]string{
+		"internal/fixed/fixed.go": "package fixed\n\nfunc Scale(x float64) float64 { return x * 1.5 }\n",
+		"internal/nn/nn.go": `package nn
+
+import "sync"
+
+var muA, muB sync.Mutex
+
+func AB() { muA.Lock(); muB.Lock(); muB.Unlock(); muA.Unlock() }
+func BA() { muB.Lock(); muA.Lock(); muA.Unlock(); muB.Unlock() }
+
+func Leak() {
+	go func() {
+		for {
+		}
+	}()
+}
+`,
+		"internal/util/util.go": `package util
+
+import "os"
+
+func Touch(name string) {
+	os.Remove(name)
+}
+`,
+	})
+}
+
+// TestWorkersByteIdentical pins the tentpole driver contract: the
+// parallel driver's -json output is byte-for-byte the sequential
+// driver's, cached and uncached.
+func TestWorkersByteIdentical(t *testing.T) {
+	dir := dirtyModule(t)
+	code, seq, seqErr := runLint(t, dir, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("sequential run: exit %d, want 1\nstderr: %s", code, seqErr)
+	}
+	if !strings.Contains(seq, "lockorder") || !strings.Contains(seq, "goleak") || !strings.Contains(seq, "floatpurity") {
+		t.Fatalf("dirty module did not exercise the expected analyzers:\n%s", seq)
+	}
+	for _, workers := range []string{"2", "8"} {
+		code, par, parErr := runLint(t, dir, "-workers", workers, "-json", "./...")
+		if code != 1 {
+			t.Fatalf("-workers %s run: exit %d, want 1\nstderr: %s", workers, code, parErr)
+		}
+		if par != seq {
+			t.Errorf("-workers %s output differs from sequential:\nseq: %s\npar: %s", workers, seq, par)
+		}
+	}
+
+	// Cached: a parallel cold run fills the cache, a parallel warm run
+	// hits everything and still matches the sequential output.
+	code, cold, coldErr := runLint(t, dir, "-workers", "8", "-cache", "-json", "./...")
+	if code != 1 {
+		t.Fatalf("parallel cold cached run: exit %d\nstderr: %s", code, coldErr)
+	}
+	if cold != seq {
+		t.Errorf("parallel cold cached output differs from sequential:\nseq: %s\ncold: %s", seq, cold)
+	}
+	code, warm, warmErr := runLint(t, dir, "-workers", "8", "-cachestats", "-json", "./...")
+	if code != 1 {
+		t.Fatalf("parallel warm cached run: exit %d\nstderr: %s", code, warmErr)
+	}
+	if warm != seq {
+		t.Errorf("parallel warm cached output differs from sequential:\nseq: %s\nwarm: %s", seq, warm)
+	}
+	if !strings.Contains(warmErr, "0 miss(es), 0 invalidation(s)") {
+		t.Errorf("parallel warm run was not fully cached: %s", warmErr)
 	}
 }
 
@@ -243,6 +325,43 @@ func TestSARIFOutput(t *testing.T) {
 	}
 	if !strings.Contains(stdout, `"results": []`) {
 		t.Errorf("clean -sarif run missing empty results array:\n%s", stdout)
+	}
+}
+
+// TestSARIFGolden pins the full SARIF log of a small fixture module
+// byte-for-byte (sarifcheck validates shape in check.sh; this catches
+// any drift in field order, indentation, rule metadata or escaping).
+// Regenerate after an intentional emitter change with:
+//
+//	UPDATE_SARIF_GOLDEN=1 go test ./cmd/iprunelint -run TestSARIFGolden
+func TestSARIFGolden(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/fixed/fixed.go": `package fixed
+
+//iprune:allow-floot typo exercises the directives rule
+func Scale(x float64) float64 { return x * 1.5 }
+`,
+	})
+	code, stdout, stderr := runLint(t, dir, "-sarif", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	golden := filepath.Join("testdata", "golden.sarif")
+	if os.Getenv("UPDATE_SARIF_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_SARIF_GOLDEN=1): %v", err)
+	}
+	if stdout != string(want) {
+		t.Errorf("SARIF output diverged from %s (regenerate with UPDATE_SARIF_GOLDEN=1 if intended):\ngot:\n%s\nwant:\n%s",
+			golden, stdout, want)
 	}
 }
 

@@ -179,43 +179,11 @@ func (mp *ModulePass) Pass(pkg *Package) *Pass {
 // sorted by position. Per-package analyzers run on each package inside
 // their Scope; module-level analyzers run once over all packages.
 // Packages that failed to type-check are skipped (the loader already
-// surfaced their errors as diagnostics).
+// surfaced their errors as diagnostics). Run is the one-worker case of
+// RunParallel (see parallel.go); both share one task/merge path, so
+// their output is identical by construction.
 func Run(analyzers []*Analyzer, pkgs []*Package, dirs *Directives) []Diagnostic {
-	var diags []Diagnostic
-	clean := make([]*Package, 0, len(pkgs))
-	for _, pkg := range pkgs {
-		if len(pkg.Errs) == 0 {
-			clean = append(clean, pkg)
-		}
-	}
-	for _, pkg := range clean {
-		for _, a := range analyzers {
-			if a.Run == nil {
-				continue
-			}
-			if a.Scope != nil && !a.Scope(pkg.Path) {
-				continue
-			}
-			diags = append(diags, runPkg(a, pkg, dirs)...)
-		}
-	}
-	for _, a := range analyzers {
-		if a.RunModule == nil {
-			continue
-		}
-		mp := &ModulePass{
-			Pkgs:   clean,
-			Dirs:   dirs,
-			diags:  &diags,
-			allow:  a.Allow,
-			name:   a.Name,
-			scope:  a.Scope,
-			passes: map[*Package]*Pass{},
-		}
-		a.RunModule(mp)
-	}
-	Sort(diags)
-	return diags
+	return RunParallel(analyzers, pkgs, dirs, 1)
 }
 
 // RunOne runs a single analyzer over one package, ignoring its Scope.
@@ -254,7 +222,10 @@ func runPkg(a *Analyzer, pkg *Package, dirs *Directives) []Diagnostic {
 	return diags
 }
 
-// Sort orders diagnostics by file, line, column, analyzer.
+// Sort orders diagnostics by file, line, column, analyzer, message. The
+// message tiebreaker makes the order total, so identical finding sets
+// serialize identically no matter how the producing tasks were
+// scheduled — the parallel driver's byte-identity rests on it.
 func Sort(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -267,7 +238,10 @@ func Sort(diags []Diagnostic) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 }
 
@@ -276,5 +250,5 @@ func Sort(diags []Diagnostic) {
 // concurrency-safety passes, and the three interprocedural call-graph
 // passes.
 func All() []*Analyzer {
-	return []*Analyzer{FloatPurity, NVMDiscipline, HotAlloc, ErrCheck, WARHazard, Parsafe, FloatFlow, AllocFlow, RegionBudget}
+	return []*Analyzer{FloatPurity, NVMDiscipline, HotAlloc, ErrCheck, WARHazard, Parsafe, FloatFlow, AllocFlow, RegionBudget, LockOrder, Goleak}
 }

@@ -85,17 +85,22 @@ type cacheEntry struct {
 // RunCached is Run with a diagnostics cache. pkgs are the target
 // packages; all must contain every loaded package including
 // dependencies of the targets (for dependency hashing — see
-// Loader.Packages). A nil cache degrades to plain Run.
+// Loader.Packages). A nil cache degrades to plain Run. RunCached is the
+// one-worker case of RunCachedParallel.
 func RunCached(analyzers []*Analyzer, pkgs []*Package, dirs *Directives, c *Cache, all []*Package) []Diagnostic {
+	return RunCachedParallel(analyzers, pkgs, dirs, c, all, 1)
+}
+
+// RunCachedParallel is RunCached with workers-way parallelism over the
+// re-analysis of cache misses (key derivation and cache I/O stay
+// sequential: the file-hash memo is not synchronized, and entry stores
+// are already atomic per package). Output is byte-identical to
+// RunCached for any worker count.
+func RunCachedParallel(analyzers []*Analyzer, pkgs []*Package, dirs *Directives, c *Cache, all []*Package, workers int) []Diagnostic {
 	if c == nil {
-		return Run(analyzers, pkgs, dirs)
+		return RunParallel(analyzers, pkgs, dirs, workers)
 	}
-	clean := make([]*Package, 0, len(pkgs))
-	for _, pkg := range pkgs {
-		if len(pkg.Errs) == 0 {
-			clean = append(clean, pkg)
-		}
-	}
+	clean := cleanPkgs(pkgs)
 	keys := c.keys(analyzers, clean, all)
 
 	var diags []Diagnostic
@@ -114,34 +119,16 @@ func RunCached(analyzers []*Analyzer, pkgs []*Package, dirs *Directives, c *Cach
 	}
 
 	if len(missedList) > 0 {
+		tasks := lintTasks(analyzers, clean, missedList, dirs, missed)
+		results := executeTasks(tasks, workers)
 		perPkg := map[*Package][]Diagnostic{}
-		for _, pkg := range missedList {
-			for _, a := range analyzers {
-				if a.Run == nil {
-					continue
-				}
-				if a.Scope != nil && !a.Scope(pkg.Path) {
-					continue
-				}
-				perPkg[pkg] = append(perPkg[pkg], runPkg(a, pkg, dirs)...)
-			}
-		}
 		var modDiags []Diagnostic
-		for _, a := range analyzers {
-			if a.RunModule == nil {
-				continue
+		for i, t := range tasks {
+			if t.pkg != nil {
+				perPkg[t.pkg] = append(perPkg[t.pkg], results[i]...)
+			} else {
+				modDiags = append(modDiags, results[i]...)
 			}
-			mp := &ModulePass{
-				Pkgs:   clean,
-				Dirs:   dirs,
-				diags:  &modDiags,
-				allow:  a.Allow,
-				name:   a.Name,
-				scope:  a.Scope,
-				only:   missed,
-				passes: map[*Package]*Pass{},
-			}
-			a.RunModule(mp)
 		}
 		byDir := map[string]*Package{}
 		for _, pkg := range missedList {

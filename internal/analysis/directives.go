@@ -15,6 +15,7 @@ import (
 //	//iprune:allow-err <reason>    suppress errcheck findings
 //	//iprune:allow-war <reason>    suppress warhazard findings
 //	//iprune:allow-par <reason>    suppress parsafe findings
+//	//iprune:allow-conc <reason>   suppress lockorder/goleak findings
 //	//iprune:allow-budget <reason> suppress regionbudget findings; a
 //	                               blessed function is an audited cost
 //	                               boundary callers need not see past
@@ -58,6 +59,7 @@ var knownDirectives = map[string]bool{
 	"allow-err":    true,
 	"allow-war":    true,
 	"allow-par":    true,
+	"allow-conc":   true,
 	"allow-budget": true,
 	"budget":       true, // the "reason" slot carries the budget value
 	"hotpath":      false,

@@ -132,6 +132,8 @@ func TestParsafeFixture(t *testing.T)       { runFixture(t, Parsafe, "parsafe") 
 func TestFloatFlowFixture(t *testing.T)     { runFixture(t, FloatFlow, "floatflow") }
 func TestAllocFlowFixture(t *testing.T)     { runFixture(t, AllocFlow, "allocflow") }
 func TestRegionBudgetFixture(t *testing.T)  { runFixture(t, RegionBudget, "regionbudget") }
+func TestLockOrderFixture(t *testing.T)     { runFixture(t, LockOrder, "lockorder") }
+func TestGoleakFixture(t *testing.T)        { runFixture(t, Goleak, "goleak") }
 
 // TestDirectivesFixture exercises the directive parser's own findings
 // (unknown names with did-you-mean suggestions) through the same
@@ -146,7 +148,8 @@ func TestDirectivesFixture(t *testing.T) {
 // but declares nothing would vacuously pass.
 func TestFixturesNonEmpty(t *testing.T) {
 	for _, name := range []string{"floatpurity", "nvmdiscipline", "hotalloc", "errcheck",
-		"warhazard", "parsafe", "floatflow", "allocflow", "regionbudget", "directives"} {
+		"warhazard", "parsafe", "floatflow", "allocflow", "regionbudget",
+		"lockorder", "goleak", "directives"} {
 		pkg, _ := loadFixture(t, name)
 		if len(fixtureFuncNames(pkg)) == 0 {
 			t.Errorf("fixture %s declares no functions", name)

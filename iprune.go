@@ -36,6 +36,7 @@
 package iprune
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"os"
@@ -49,6 +50,7 @@ import (
 	"iprune/internal/models"
 	"iprune/internal/nn"
 	"iprune/internal/obs"
+	"iprune/internal/pool"
 	"iprune/internal/power"
 	"iprune/internal/quant"
 	"iprune/internal/tensor"
@@ -206,6 +208,48 @@ func SimulateObserved(net *Network, sup Supply, seed int64, tr Tracer) (SimResul
 	cs := hawaii.NewCostSim(cfg)
 	cs.Trace = tr
 	return cs.RunNetwork(net, specs, tile.Intermittent, sup, seed)
+}
+
+// SweepPoint is one operating point of a PowerSweep: the supply it ran
+// under and the simulation outcome. Err is non-nil when the point cannot
+// complete (ErrOpExceedsBuffer at powers too weak to charge one op).
+type SweepPoint struct {
+	Supply Supply
+	Result SimResult
+	Err    error
+}
+
+// PowerSweep simulates one end-to-end inference of net at every supply,
+// sharded workers-wide across the internal worker pool (workers <= 1 is
+// fully sequential, 0 is not special-cased — pass the parallelism you
+// want). Every point builds its own schedule and cost simulator, so
+// points share only the immutable network and results are positionally
+// deterministic: pts[i] always corresponds to sups[i], whatever the
+// worker count. The masks the schedule needs are installed once, before
+// the fan-out, keeping the shared network read-only inside it.
+func PowerSweep(net *Network, sups []Supply, seed int64, workers int) []SweepPoint {
+	pts := make([]SweepPoint, len(sups))
+	// Install masks up front so concurrent points never mutate net.
+	cfg := tile.DefaultConfig()
+	ensureMasks(net, tile.SpecsFromNetwork(net, cfg))
+	runPoint := func(i int) {
+		pts[i].Supply = sups[i]
+		pts[i].Result, pts[i].Err = Simulate(net, sups[i], seed)
+	}
+	if workers <= 1 || len(sups) <= 1 {
+		for i := range sups {
+			runPoint(i)
+		}
+		return pts
+	}
+	p := pool.New(workers - 1) // the calling goroutine participates
+	defer p.Close()
+	if err := p.ForEach(context.Background(), len(sups), runPoint); err != nil {
+		if pe, ok := err.(*pool.PanicError); ok {
+			panic(pe.Value)
+		}
+	}
+	return pts
 }
 
 // NewTraceRecorder returns an in-memory event recorder to pass to

@@ -7,7 +7,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 echo "== gofmt"
-unformatted=$(gofmt -l .)
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
     echo "gofmt: the following files need formatting:" >&2
     echo "$unformatted" >&2
@@ -39,6 +39,21 @@ status=0
 go run ./cmd/iprunelint -cache -cachestats -json ./... > "$tmp/iprunelint.json" || status=$?
 cat "$tmp/iprunelint.json"
 [ "$status" -eq 0 ] || exit "$status"
+
+# Cache soundness: an immediate rerun over unchanged sources must be
+# fully warm — any miss or invalidation means the cache key omits an
+# input that the first run just wrote, i.e. the cache would silently
+# serve stale diagnostics after that input changes.
+echo "== iprunelint cache soundness"
+warm=$(go run ./cmd/iprunelint -cache -cachestats ./... 2>&1 >/dev/null)
+echo "$warm"
+case "$warm" in
+*" 0 miss(es), 0 invalidation(s)"*) ;;
+*)
+    echo "iprunelint: warm rerun was not fully cached (unsound cache key?)" >&2
+    exit 1
+    ;;
+esac
 
 # Budget audit: the measured energy of an intermittent run must respect
 # the same per-power-cycle bound the regionbudget analyzer proves
