@@ -1,0 +1,53 @@
+package fleet
+
+import "fmt"
+
+// evalChecks evaluates every assertion of the scenario against the node
+// results. Checks are pure functions of the results, so their order and
+// details are deterministic.
+func evalChecks(sc *Scenario, nodes []NodeResult) []CheckResult {
+	checks := make([]CheckResult, 0, len(sc.Assertions))
+	for _, a := range sc.Assertions {
+		var sel []NodeResult
+		for _, n := range nodes {
+			if a.Node == "" || a.Node == "*" || a.Node == n.ID {
+				sel = append(sel, n)
+			}
+		}
+		c := CheckResult{Desc: a.describe()}
+		switch a.Type {
+		case "accuracy-floor":
+			minAcc, id := 2.0, ""
+			for _, n := range sel {
+				if n.Accuracy < minAcc {
+					minAcc, id = n.Accuracy, n.ID
+				}
+			}
+			c.Pass = minAcc >= *a.Min
+			c.Detail = fmt.Sprintf("min accuracy %.3f (%s), floor %.3f", minAcc, id, *a.Min)
+		case "max-recoveries":
+			maxRec, id := -1, ""
+			for _, n := range sel {
+				if n.Recoveries > maxRec {
+					maxRec, id = n.Recoveries, n.ID
+				}
+			}
+			c.Pass = float64(maxRec) <= *a.Max
+			c.Detail = fmt.Sprintf("max recoveries %d (%s), limit %g", maxRec, id, *a.Max)
+		case "deadline-hit-rate":
+			hits, owed := 0, 0
+			for _, n := range sel {
+				hits += n.DeadlineHits
+				owed += n.Deadlines
+			}
+			rate := 0.0
+			if owed > 0 {
+				rate = float64(hits) / float64(owed)
+			}
+			c.Pass = rate >= *a.Min
+			c.Detail = fmt.Sprintf("hit-rate %.3f (%d/%d), floor %.3f", rate, hits, owed, *a.Min)
+		}
+		checks = append(checks, c)
+	}
+	return checks
+}

@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+
+	"iprune/internal/power"
+)
+
+// node is a compiled NodeSpec: everything the run loop needs, resolved
+// against the event script.
+type node struct {
+	spec  NodeSpec
+	index int
+	seed  int64
+	label string // supply description for the summary line
+
+	// Exactly one of the two power configurations is set: a plain supply
+	// (keeps its per-cycle jitter) or a scripted piecewise-linear trace
+	// (deterministic, jitter-free by construction of NewTraceSim).
+	supply power.Supply
+	trace  *power.Trace
+
+	switches []modelSwitch // time-sorted pending switch-model commands
+}
+
+type modelSwitch struct {
+	at    float64
+	model string
+}
+
+// powerEvent is a set-harvest or brownout entry resolved for one node.
+type powerEvent struct {
+	at    float64
+	dur   float64 // brownout window length
+	pow   float64 // set-harvest power, watts
+	brown bool
+}
+
+// compile resolves the scenario into per-node run plans. A node keeps
+// its plain supply unless the event script touches its power or it has a
+// solar profile; then its whole power history is compiled into one
+// power.Trace so the simulator sees a single consistent profile.
+func compile(sc *Scenario) ([]*node, error) {
+	nodes := make([]*node, len(sc.Nodes))
+	for i := range sc.Nodes {
+		spec := sc.Nodes[i]
+		if spec.Inferences <= 0 {
+			spec.Inferences = 1
+		}
+		n := &node{spec: spec, index: i, seed: sc.Seed + int64(i)}
+		if spec.Seed != nil {
+			n.seed = *spec.Seed
+		}
+		var pevs []powerEvent
+		for _, ev := range sc.Events {
+			if ev.Node != "*" && ev.Node != spec.ID {
+				continue
+			}
+			switch ev.Action {
+			case "set-harvest":
+				sup, err := power.ParseSupply(ev.Supply)
+				if err != nil {
+					return nil, err // unreachable after Validate
+				}
+				pevs = append(pevs, powerEvent{at: ev.AtS, pow: sup.Power})
+			case "brownout":
+				pevs = append(pevs, powerEvent{at: ev.AtS, dur: ev.DurationS, brown: true})
+			case "switch-model":
+				n.switches = append(n.switches, modelSwitch{at: ev.AtS, model: ev.Model})
+			}
+		}
+		sort.SliceStable(n.switches, func(a, b int) bool { return n.switches[a].at < n.switches[b].at })
+		sort.SliceStable(pevs, func(a, b int) bool { return pevs[a].at < pevs[b].at })
+		if err := compilePower(n, pevs); err != nil {
+			return nil, err
+		}
+		nodes[i] = n
+	}
+	return nodes, nil
+}
+
+// compilePower picks the node's power configuration and label.
+func compilePower(n *node, pevs []powerEvent) error {
+	spec := n.spec
+	if spec.Solar == nil && len(pevs) == 0 {
+		sup, err := power.ParseSupply(spec.Supply)
+		if err != nil {
+			return err
+		}
+		n.supply = sup
+		n.label = sup.Name
+		return nil
+	}
+	var solar *power.Trace
+	base := 0.0
+	switch {
+	case spec.Solar != nil:
+		tr := power.SolarDay(spec.Solar.PeakMW*1e-3, spec.Solar.DurationS, spec.Solar.Clouds, spec.Solar.Seed)
+		solar = &tr
+		n.label = "solar"
+	default:
+		sup, err := power.ParseSupply(spec.Supply)
+		if err != nil {
+			return err
+		}
+		// A mains-powered node hit by a power event becomes a scripted
+		// harvest node: the trace machinery models harvested power, so
+		// "continuous" is represented as its 1.65 W equivalent.
+		base = sup.Power
+		n.label = sup.Name
+	}
+	if len(pevs) > 0 {
+		n.label += "+events"
+	}
+	tr := scriptTrace(solar, base, pevs)
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	n.trace = &tr
+	return nil
+}
+
+// scriptTrace renders a baseline profile (a solar day or a constant
+// harvest) overlaid with the event script into one piecewise-linear
+// power.Trace. Every event edge gets a near-vertical step (a sample just
+// before and one at the edge), and every solar knot is carried over, so
+// linear interpolation between the emitted samples reproduces the
+// scripted history exactly.
+func scriptTrace(solar *power.Trace, base float64, pevs []powerEvent) power.Trace {
+	eval := func(t float64) float64 {
+		p := base
+		if solar != nil {
+			p = solar.At(t)
+		}
+		for _, e := range pevs { // time-sorted: the last harvest at or before t wins
+			if !e.brown && e.at <= t {
+				p = e.pow
+			}
+		}
+		for _, e := range pevs {
+			if e.brown && e.at <= t && t < e.at+e.dur {
+				return 0
+			}
+		}
+		return p
+	}
+	var bps []float64
+	if solar != nil {
+		bps = append(bps, solar.Times...)
+	}
+	for _, e := range pevs {
+		bps = append(bps, e.at)
+		if e.brown {
+			bps = append(bps, e.at+e.dur)
+		}
+	}
+	maxBP := 0.0
+	for _, b := range bps {
+		maxBP = math.Max(maxBP, b)
+	}
+	horizon := maxBP + 1
+	sort.Float64s(bps)
+
+	tr := power.Trace{Times: []float64{0}, Powers: []float64{eval(0)}}
+	add := func(t float64) {
+		if t > tr.Times[len(tr.Times)-1] && t < horizon {
+			tr.Times = append(tr.Times, t)
+			tr.Powers = append(tr.Powers, eval(t))
+		}
+	}
+	for _, b := range bps {
+		// The pre-edge sample keeps the step near-vertical; the offset is
+		// relative so it survives float64 rounding at large times.
+		add(b - math.Max(1e-9, b*1e-12))
+		add(b)
+	}
+	tr.Times = append(tr.Times, horizon)
+	tr.Powers = append(tr.Powers, eval(horizon))
+	return tr
+}

@@ -1,0 +1,268 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func f(v float64) *float64 { return &v }
+
+// testScenario builds a small but fully-featured fleet: plain supplies,
+// a scripted brownout, a harvest change, a model switch and every
+// assertion type.
+func testScenario() *Scenario {
+	return &Scenario{
+		Name: "unit",
+		Seed: 7,
+		Nodes: []NodeSpec{
+			{ID: "a", Model: "HAR", Supply: "strong", Inferences: 2, DeadlineS: 30},
+			{ID: "b", Model: "HAR", Supply: "weak"},
+			{ID: "c", Model: "CKS", Supply: "8mW"},
+		},
+		Events: []EventSpec{
+			{AtS: 0.05, Node: "b", Action: "brownout", DurationS: 0.2},
+			{AtS: 1.0, Node: "b", Action: "set-harvest", Supply: "6mW"},
+			{AtS: 0, Node: "c", Action: "switch-model", Model: "HAR"},
+		},
+		Assertions: []AssertSpec{
+			{Type: "accuracy-floor", Min: f(0.01)},
+			{Type: "max-recoveries", Max: f(1e6)},
+			{Type: "deadline-hit-rate", Node: "a", Min: f(0)},
+		},
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	if err := testScenario().Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	bad := []func(*Scenario){
+		func(sc *Scenario) { sc.Name = "" },
+		func(sc *Scenario) { sc.Nodes = nil },
+		func(sc *Scenario) { sc.Nodes[1].ID = "a" },
+		func(sc *Scenario) { sc.Nodes[0].Model = "nope" },
+		func(sc *Scenario) { sc.Nodes[0].Supply = "alsono" },
+		func(sc *Scenario) { sc.Nodes[0].Solar = &SolarSpec{PeakMW: 10, DurationS: 60} },
+		func(sc *Scenario) { sc.Events[0].Node = "ghost" },
+		func(sc *Scenario) { sc.Events[0].DurationS = 0 },
+		func(sc *Scenario) { sc.Events[1].Supply = "continuous" },
+		func(sc *Scenario) { sc.Events[2].Model = "zzz" },
+		func(sc *Scenario) { sc.Assertions[0].Min = nil },
+		func(sc *Scenario) { sc.Assertions[0].Min = f(1.5) },
+		func(sc *Scenario) { sc.Assertions[1].Max = f(-1) },
+		func(sc *Scenario) { sc.Assertions[2].Node = "b" }, // b has no deadline
+		func(sc *Scenario) { sc.Assertions[2].Type = "weird" },
+	}
+	for i, mutate := range bad {
+		sc := testScenario()
+		mutate(sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("mutation %d: invalid scenario accepted", i)
+		}
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse(strings.NewReader(`{"name":"x","seed":1,"typo_field":true,"nodes":[]}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+// TestScriptTraceEdges pins the compiled power trace against the event
+// script: harvest steps and brownout windows must reproduce exactly at
+// the trace's linear interpolation.
+func TestScriptTraceEdges(t *testing.T) {
+	sc := &Scenario{
+		Name: "edges", Seed: 1,
+		Nodes: []NodeSpec{{ID: "n", Model: "HAR", Supply: "4mW"}},
+		Events: []EventSpec{
+			{AtS: 1, Node: "n", Action: "brownout", DurationS: 0.5},
+			{AtS: 2, Node: "n", Action: "set-harvest", Supply: "8mW"},
+		},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := compile(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := nodes[0].trace
+	if tr == nil {
+		t.Fatal("event-scripted node compiled to a plain supply")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ t, want float64 }{
+		{0, 4e-3},    // baseline
+		{0.5, 4e-3},  // before the storm
+		{1.0, 0},     // brownout start (right-continuous)
+		{1.25, 0},    // mid-brownout
+		{1.5, 4e-3},  // brownout end restores the baseline
+		{2.0, 8e-3},  // harvest step
+		{2.5, 8e-3},  // holds after the step
+		{10.0, 8e-3}, // end clamp
+	} {
+		if got := tr.At(tc.t); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("At(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	if nodes[0].label != "4mW+events" {
+		t.Errorf("label = %q", nodes[0].label)
+	}
+}
+
+func TestCompileSolarBaseline(t *testing.T) {
+	sc := &Scenario{
+		Name: "sun", Seed: 1,
+		Nodes: []NodeSpec{{ID: "n", Model: "CKS",
+			Solar: &SolarSpec{PeakMW: 10, DurationS: 120, Clouds: 2, Seed: 3}}},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := compile(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := nodes[0].trace
+	if tr == nil || nodes[0].label != "solar" {
+		t.Fatalf("solar node compiled wrong: trace=%v label=%q", tr != nil, nodes[0].label)
+	}
+	// The solar knots must carry over: mid-day power is near peak.
+	if p := tr.At(60); p <= 1e-3 {
+		t.Errorf("mid-day solar power %g implausibly low", p)
+	}
+}
+
+// TestRunDeterministicAcrossWorkers pins the tentpole's core contract:
+// a fixed scenario+seed produces byte-identical summaries at any fan-out
+// width.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	sc := testScenario()
+	var outs []string
+	for _, workers := range []int{1, 4} {
+		rep, err := Run(sc, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := rep.WriteSummary(&b); err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, b.String())
+		if rep.Failed() {
+			t.Fatalf("workers=%d: scenario unexpectedly failed:\n%s", workers, b.String())
+		}
+	}
+	if outs[0] != outs[1] {
+		t.Fatalf("summaries differ between -workers 1 and 4:\n--- 1:\n%s--- 4:\n%s", outs[0], outs[1])
+	}
+}
+
+func TestRunResultsAndTrace(t *testing.T) {
+	sc := testScenario()
+	rep, err := Run(sc, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Nodes) != 3 || len(rep.Checks) != 3 {
+		t.Fatalf("got %d nodes, %d checks", len(rep.Nodes), len(rep.Checks))
+	}
+	a, b, c := rep.Nodes[0], rep.Nodes[1], rep.Nodes[2]
+	if a.Inferences != 2 || a.Deadlines != 2 {
+		t.Errorf("node a: inf=%d deadlines=%d", a.Inferences, a.Deadlines)
+	}
+	if b.Recoveries == 0 {
+		t.Error("weak-supply node b survived without a single recovery")
+	}
+	if c.Model != "HAR" || c.Switches != 1 {
+		t.Errorf("node c switch-model not applied: model=%s switches=%d", c.Model, c.Switches)
+	}
+	for _, n := range rep.Nodes {
+		if n.Err != nil {
+			t.Errorf("%s: %v", n.ID, n.Err)
+		}
+		if n.Accuracy <= 0 || n.Latency <= 0 || n.Energy <= 0 {
+			t.Errorf("%s: degenerate result %+v", n.ID, n)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("fleet trace is not valid JSON")
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if !strings.Contains(buf.String(), `"`+id+`"`) {
+			t.Errorf("trace missing a section for node %s", id)
+		}
+	}
+	if ops := rep.Rollup().Counter("run/ops").Value(); ops <= 0 {
+		t.Errorf("rollup ops = %g", ops)
+	}
+}
+
+// TestNodeTimelineMonotonic pins the clock alignment between the
+// cost-simulator's per-run clock and the node's global power timeline:
+// events recorded for one node never go backwards in time across
+// inference boundaries.
+func TestNodeTimelineMonotonic(t *testing.T) {
+	sc := &Scenario{
+		Name: "mono", Seed: 3,
+		Nodes: []NodeSpec{{ID: "n", Model: "HAR", Supply: "weak", Inferences: 3}},
+	}
+	rep, err := Run(sc, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes[0].Err != nil {
+		t.Fatal(rep.Nodes[0].Err)
+	}
+	evs := rep.hub.Devices()[0].Events()
+	if len(evs) == 0 {
+		t.Fatal("no events recorded")
+	}
+	prev := 0.0
+	for i, ev := range evs {
+		if ev.Time < prev-1e-9 {
+			t.Fatalf("event %d (%v) at %g s runs backwards (prev %g s)", i, ev.Kind, ev.Time, prev)
+		}
+		if ev.Time > prev {
+			prev = ev.Time
+		}
+	}
+	if total := rep.Nodes[0].Latency; math.Abs(prev-total) > total*0.5 {
+		t.Errorf("last event at %g s vs total latency %g s: clocks diverged", prev, total)
+	}
+}
+
+func TestFailingAssertionFlipsFailed(t *testing.T) {
+	sc := &Scenario{
+		Name: "strict", Seed: 1,
+		Nodes: []NodeSpec{{ID: "w", Model: "HAR", Supply: "weak"}},
+		Assertions: []AssertSpec{
+			{Type: "max-recoveries", Max: f(0)}, // weak supply must violate this
+		},
+	}
+	rep, err := Run(sc, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("recovery-heavy run passed a max-recoveries=0 assertion")
+	}
+	var b bytes.Buffer
+	if err := rep.WriteSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "check FAIL") || !strings.Contains(b.String(), "FAIL (") {
+		t.Errorf("summary does not surface the failure:\n%s", b.String())
+	}
+}

@@ -1,0 +1,251 @@
+// Package fleet runs declarative multi-device intermittent-computing
+// scenarios: a JSON file describes a heterogeneous fleet of nodes (model,
+// supply or harvest profile, seed), a timed event script (harvest
+// changes, brownout storms, model switches), and end-of-run assertions.
+// Each node runs the real HAWAII⁺ cost simulator — only the power layer
+// is scripted — so scenario regressions exercise exactly the recovery
+// machinery the paper evaluates, at fleet scale.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"iprune/internal/models"
+	"iprune/internal/power"
+)
+
+// Scenario is the root of a fleet scenario file.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Seed is the fleet-wide base seed; a node without its own seed runs
+	// at Seed + its index, so adding a node never reseeds the others.
+	Seed       int64        `json:"seed"`
+	Nodes      []NodeSpec   `json:"nodes"`
+	Events     []EventSpec  `json:"events,omitempty"`
+	Assertions []AssertSpec `json:"assertions,omitempty"`
+}
+
+// NodeSpec describes one device of the fleet.
+type NodeSpec struct {
+	ID    string `json:"id"`
+	Model string `json:"model"` // Table II model name: SQN | HAR | CKS
+	// Exactly one of Supply and Solar must be set. Supply accepts what
+	// the CLIs accept: continuous | strong | weak | "<N>mW".
+	Supply string     `json:"supply,omitempty"`
+	Solar  *SolarSpec `json:"solar,omitempty"`
+	// Seed overrides the derived per-node seed.
+	Seed *int64 `json:"seed,omitempty"`
+	// Inferences is the number of back-to-back inferences to run
+	// (default 1). The power simulator spans all of them: failures and
+	// profile time carry across inference boundaries.
+	Inferences int `json:"inferences,omitempty"`
+	// DeadlineS, when positive, marks each inference as a deadline hit
+	// iff its end-to-end latency (dark time included) stays within it.
+	DeadlineS float64 `json:"deadline_s,omitempty"`
+}
+
+// SolarSpec parameterizes a power.SolarDay harvest profile.
+type SolarSpec struct {
+	PeakMW    float64 `json:"peak_mw"`
+	DurationS float64 `json:"duration_s"`
+	Clouds    int     `json:"clouds"`
+	Seed      int64   `json:"seed"`
+}
+
+// EventSpec is one entry of the timed event script. Node selects a node
+// by ID, or "*" for the whole fleet.
+type EventSpec struct {
+	AtS    float64 `json:"at_s"`
+	Node   string  `json:"node"`
+	Action string  `json:"action"` // set-harvest | brownout | switch-model
+	// Supply is the new harvest operating point for set-harvest (must
+	// not be continuous — a scripted profile models harvest power).
+	Supply string `json:"supply,omitempty"`
+	// DurationS is the dark window length for brownout.
+	DurationS float64 `json:"duration_s,omitempty"`
+	// Model is the replacement model for switch-model; the switch takes
+	// effect at the next inference boundary after AtS.
+	Model string `json:"model,omitempty"`
+}
+
+// AssertSpec is one end-of-run check. Node narrows it to a single node;
+// empty or "*" covers the fleet.
+type AssertSpec struct {
+	Type string   `json:"type"` // accuracy-floor | max-recoveries | deadline-hit-rate
+	Node string   `json:"node,omitempty"`
+	Min  *float64 `json:"min,omitempty"`
+	Max  *float64 `json:"max,omitempty"`
+}
+
+// Parse decodes a scenario, rejecting unknown fields so typos in
+// scenario files fail loudly, and validates it.
+func Parse(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("fleet: parse scenario: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //iprune:allow-err read-only file; Parse errors dominate
+	return Parse(f)
+}
+
+func validModel(name string) bool {
+	for _, m := range models.Names() {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks every cross-reference and value range of the scenario:
+// node IDs, model and supply names, event targets and parameters, and
+// assertion shapes. It does not simulate anything.
+func (sc *Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("fleet: scenario needs a name")
+	}
+	if len(sc.Nodes) == 0 {
+		return fmt.Errorf("fleet: scenario %q has no nodes", sc.Name)
+	}
+	ids := make(map[string]bool, len(sc.Nodes))
+	for i, n := range sc.Nodes {
+		where := fmt.Sprintf("fleet: node %d (%q)", i, n.ID)
+		if n.ID == "" || n.ID == "*" {
+			return fmt.Errorf("%s: id must be non-empty and not %q", where, "*")
+		}
+		if ids[n.ID] {
+			return fmt.Errorf("%s: duplicate id", where)
+		}
+		ids[n.ID] = true
+		if !validModel(n.Model) {
+			return fmt.Errorf("%s: unknown model %q (have %v)", where, n.Model, models.Names())
+		}
+		switch {
+		case n.Supply != "" && n.Solar != nil:
+			return fmt.Errorf("%s: supply and solar are mutually exclusive", where)
+		case n.Supply != "":
+			if _, err := power.ParseSupply(n.Supply); err != nil {
+				return fmt.Errorf("%s: %w", where, err)
+			}
+		case n.Solar != nil:
+			s := n.Solar
+			if s.PeakMW <= 0 || s.DurationS <= 0 || s.Clouds < 0 {
+				return fmt.Errorf("%s: solar needs peak_mw > 0, duration_s > 0, clouds >= 0", where)
+			}
+		default:
+			return fmt.Errorf("%s: needs a supply or a solar profile", where)
+		}
+		if n.Inferences < 0 {
+			return fmt.Errorf("%s: negative inferences", where)
+		}
+		if n.DeadlineS < 0 {
+			return fmt.Errorf("%s: negative deadline_s", where)
+		}
+	}
+	for i, ev := range sc.Events {
+		where := fmt.Sprintf("fleet: event %d (%s at %gs)", i, ev.Action, ev.AtS)
+		if ev.AtS < 0 {
+			return fmt.Errorf("%s: negative at_s", where)
+		}
+		if ev.Node != "*" && !ids[ev.Node] {
+			return fmt.Errorf("%s: unknown node %q", where, ev.Node)
+		}
+		switch ev.Action {
+		case "set-harvest":
+			sup, err := power.ParseSupply(ev.Supply)
+			if err != nil {
+				return fmt.Errorf("%s: %w", where, err)
+			}
+			if sup.Continuous {
+				return fmt.Errorf("%s: a scripted harvest cannot be continuous", where)
+			}
+		case "brownout":
+			if ev.DurationS <= 0 {
+				return fmt.Errorf("%s: brownout needs duration_s > 0", where)
+			}
+		case "switch-model":
+			if !validModel(ev.Model) {
+				return fmt.Errorf("%s: unknown model %q (have %v)", where, ev.Model, models.Names())
+			}
+		default:
+			return fmt.Errorf("%s: unknown action (set-harvest|brownout|switch-model)", where)
+		}
+	}
+	for i, a := range sc.Assertions {
+		where := fmt.Sprintf("fleet: assertion %d (%s)", i, a.Type)
+		if a.Node != "" && a.Node != "*" && !ids[a.Node] {
+			return fmt.Errorf("%s: unknown node %q", where, a.Node)
+		}
+		switch a.Type {
+		case "accuracy-floor":
+			if a.Min == nil || a.Max != nil {
+				return fmt.Errorf("%s: needs min (and no max)", where)
+			}
+			if *a.Min < 0 || *a.Min > 1 {
+				return fmt.Errorf("%s: min %g outside [0,1]", where, *a.Min)
+			}
+		case "max-recoveries":
+			if a.Max == nil || a.Min != nil {
+				return fmt.Errorf("%s: needs max (and no min)", where)
+			}
+			if *a.Max < 0 {
+				return fmt.Errorf("%s: negative max", where)
+			}
+		case "deadline-hit-rate":
+			if a.Min == nil || a.Max != nil {
+				return fmt.Errorf("%s: needs min (and no max)", where)
+			}
+			if *a.Min < 0 || *a.Min > 1 {
+				return fmt.Errorf("%s: min %g outside [0,1]", where, *a.Min)
+			}
+			any := false
+			for _, n := range sc.Nodes {
+				if (a.Node == "" || a.Node == "*" || a.Node == n.ID) && n.DeadlineS > 0 {
+					any = true
+				}
+			}
+			if !any {
+				return fmt.Errorf("%s: no selected node has a deadline_s", where)
+			}
+		default:
+			return fmt.Errorf("%s: unknown type (accuracy-floor|max-recoveries|deadline-hit-rate)", where)
+		}
+	}
+	return nil
+}
+
+func (a AssertSpec) describe() string {
+	target := a.Node
+	if target == "" || target == "*" {
+		target = "fleet"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s", a.Type, target)
+	if a.Min != nil {
+		fmt.Fprintf(&b, ", min=%g", *a.Min)
+	}
+	if a.Max != nil {
+		fmt.Fprintf(&b, ", max=%g", *a.Max)
+	}
+	b.WriteString(")")
+	return b.String()
+}

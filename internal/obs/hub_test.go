@@ -150,6 +150,63 @@ func TestHubLifecycle(t *testing.T) {
 	h.Device("late", nil)
 }
 
+// TestHubCloseDrainsBufferedEvents pins that Close is a drain, not a
+// discard: every event sent before Close — even ones still sitting in a
+// shard channel — is recorded.
+func TestHubCloseDrainsBufferedEvents(t *testing.T) {
+	h := NewHub(2)
+	d := h.Device("drain", nil)
+	const n = 100
+	for i := 0; i < n; i++ {
+		d.Emit(Event{Kind: KindOpCommit, Time: float64(i)})
+	}
+	h.Close()
+	if got := len(d.Events()); got != n {
+		t.Fatalf("recorded %d events, want %d (Close dropped buffered sends)", got, n)
+	}
+	if d.Stats() == nil || d.Metrics() == nil {
+		t.Fatal("Stats/Metrics nil after Close")
+	}
+}
+
+// TestHubEmitAfterCloseDroppedAcrossShards pins the post-Close drop on a
+// multi-shard hub: no shard's channel may accept (or block on) a send
+// after shutdown, whichever shard the device is pinned to.
+func TestHubEmitAfterCloseDroppedAcrossShards(t *testing.T) {
+	h := NewHub(4)
+	var devs []*HubDevice
+	for i := 0; i < 8; i++ { // two devices pinned to each shard
+		devs = append(devs, h.Device(string(rune('a'+i)), nil))
+	}
+	for _, d := range devs {
+		deviceRun(d, 2)
+	}
+	h.Close()
+	for _, d := range devs {
+		n := len(d.Events())
+		d.Emit(Event{Kind: KindFailure}) // must neither panic nor block
+		if len(d.Events()) != n {
+			t.Fatalf("%s: emit after Close was recorded", d.Name)
+		}
+	}
+}
+
+// TestHubAccessorsNilBeforeClose pins that per-device statistics are a
+// Close-time product: reading them mid-run returns nil rather than a
+// torn snapshot.
+func TestHubAccessorsNilBeforeClose(t *testing.T) {
+	h := NewHub(1)
+	d := h.Device("early", nil)
+	deviceRun(d, 3)
+	if d.Stats() != nil || d.Metrics() != nil {
+		t.Error("Stats/Metrics non-nil before Close")
+	}
+	h.Close()
+	if d.Stats() == nil || d.Metrics() == nil {
+		t.Error("Stats/Metrics nil after Close")
+	}
+}
+
 // BenchmarkHubEmit measures the producer-side emit path: one guarded
 // channel send of a plain value — no lock, no allocation on the
 // producer's side.

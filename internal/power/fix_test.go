@@ -1,0 +1,149 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestTraceRechargeIntegratesDarkInterval pins the trace-driven recharge
+// fix: a profile that goes bright → hard dark → slow ramp-up. The buggy
+// recharge divided the refill energy by the power sampled at cycle
+// *start*; a cycle beginning inside the dark stretch then priced the
+// whole refill at traceFloor and reported ~1e8 s of off-time the profile
+// does not contain. Integrating the trace keeps the dark time bounded by
+// the ramp actually present.
+func TestTraceRechargeIntegratesDarkInterval(t *testing.T) {
+	tr := Trace{
+		Times:  []float64{0, 0.004, 0.0041, 0.1, 10},
+		Powers: []float64{20e-3, 20e-3, 0, 0, 20e-3},
+	}
+	sim, err := NewTraceSim(DefaultBuffer(), tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Draw 50 µJ per 1 ms step (50 mW): a net ~30 µJ/step deficit while
+	// bright, so the first failure lands at ~4 ms and the first recharge
+	// spans the profile's dark interval.
+	for sim.Failures < 2 {
+		if sim.Consume(50e-6, 1e-3) {
+			sim.Recharge()
+		}
+		if sim.OnTime > 1 {
+			t.Fatalf("no second failure within 1 s of on-time (failures=%d)", sim.Failures)
+		}
+	}
+	// The ramp reaches 20 mW by t=10 s, so two refills fit in well under
+	// 5 s of dark time; the stale-power recharge yields ~104 s.
+	if sim.OffTime >= 5 {
+		t.Fatalf("OffTime = %g s; recharge priced dark interval at stale cycle-start power", sim.OffTime)
+	}
+}
+
+// TestTraceRechargeConstantMatchesSupply pins that on a flat trace the
+// integrating recharge degenerates to the closed form energy/power used
+// by plain supplies.
+func TestTraceRechargeConstantMatchesSupply(t *testing.T) {
+	const p = 4e-3
+	tr := Trace{Times: []float64{0, 100}, Powers: []float64{p, p}}
+	sim, err := NewTraceSim(DefaultBuffer(), tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultBuffer().UsableEnergy() / p
+	for i := 0; i < 3; i++ {
+		for !sim.Consume(20e-6, 1e-3) {
+		}
+		if off := sim.Recharge(); math.Abs(off-want) > 1e-12 {
+			t.Fatalf("recharge %d = %g s, want %g", i, off, want)
+		}
+	}
+}
+
+// TestRemainingClampedAtDepletion pins the Remaining() clamp: the draw
+// that browns the device out must leave the buffer reading empty — not
+// negative — with the deficit accounted in Overshoot.
+func TestRemainingClampedAtDepletion(t *testing.T) {
+	sup := WeakPower
+	sup.Jitter = 0
+	sim := NewSim(DefaultBuffer(), sup, 1)
+	e := DefaultBuffer().UsableEnergy()
+
+	if !sim.Consume(10*e, 1e-3) {
+		t.Fatal("10x-buffer draw did not fail")
+	}
+	if got := sim.Remaining(); got != 0 {
+		t.Fatalf("Remaining() = %g after depletion, want 0", got)
+	}
+	// The draw net of harvest was 10e − p·dt; the buffer held e, so the
+	// overshoot is the rest.
+	want := 9*e - sup.Power*1e-3
+	if math.Abs(sim.Overshoot-want) > 1e-12 {
+		t.Fatalf("Overshoot = %g, want %g", sim.Overshoot, want)
+	}
+	if sim.Recharge(); sim.Remaining() != e {
+		t.Fatalf("Remaining() = %g after recharge, want %g", sim.Remaining(), e)
+	}
+}
+
+// atLinear is the pre-fix linear-scan interpolation, kept verbatim so the
+// binary-search At can be pinned against it.
+func atLinear(tr *Trace, t float64) float64 {
+	if t <= tr.Times[0] {
+		return tr.Powers[0]
+	}
+	last := len(tr.Times) - 1
+	if t >= tr.Times[last] {
+		return tr.Powers[last]
+	}
+	i := 1
+	for tr.Times[i] < t {
+		i++
+	}
+	t0, t1 := tr.Times[i-1], tr.Times[i]
+	p0, p1 := tr.Powers[i-1], tr.Powers[i]
+	return p0 + (p1-p0)*(t-t0)/(t1-t0)
+}
+
+// TestAtBinarySearchMatchesLinearScan pins exact (bit-for-bit) agreement
+// between the binary-search At and the old linear scan: both resolve the
+// same segment index, so the interpolation arithmetic is identical.
+func TestAtBinarySearchMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	traces := []Trace{
+		{Times: []float64{0, 1}, Powers: []float64{1e-3, 2e-3}},
+		SolarDay(10e-3, 3600, 3, 1),
+		SolarDay(8e-3, 120, 5, 42),
+	}
+	for n := 0; n < 4; n++ {
+		tr := Trace{Times: []float64{0}, Powers: []float64{rng.Float64()}}
+		for len(tr.Times) < 3+rng.Intn(40) {
+			tr.Times = append(tr.Times, tr.Times[len(tr.Times)-1]+1e-4+rng.Float64())
+			tr.Powers = append(tr.Powers, rng.Float64()*1e-2)
+		}
+		traces = append(traces, tr)
+	}
+	for ti := range traces {
+		tr := &traces[ti]
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trace %d: %v", ti, err)
+		}
+		last := len(tr.Times) - 1
+		var ts []float64
+		ts = append(ts, -1, 0, tr.Times[last]+1)
+		for i, s := range tr.Times {
+			ts = append(ts, s)
+			if i > 0 {
+				ts = append(ts, 0.5*(tr.Times[i-1]+s))
+			}
+		}
+		for i := 0; i < 50; i++ {
+			ts = append(ts, rng.Float64()*tr.Times[last]*1.1)
+		}
+		for _, q := range ts {
+			if got, want := tr.At(q), atLinear(tr, q); got != want {
+				t.Fatalf("trace %d: At(%g) = %g, linear scan says %g", ti, q, got, want)
+			}
+		}
+	}
+}

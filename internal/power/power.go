@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -116,6 +117,14 @@ type Sim struct {
 	OffTime float64 // seconds spent recharging
 	//iprune:nvm
 	EnergyUsed float64 // joules drawn by the device
+	// Overshoot is the cumulative energy drawn past depletion: the draw
+	// that browns the device out discovers the empty buffer only at its
+	// end, so its tail is spent from below VOff. Accounting it here keeps
+	// Remaining clamped at zero (telemetry never sees negative buffer
+	// energy) without losing the deficit from the ledger.
+	//
+	//iprune:nvm
+	Overshoot float64
 }
 
 // NewSim constructs a simulator; seed controls the jitter sequence.
@@ -175,6 +184,8 @@ func (s *Sim) Consume(energy, dt float64) bool {
 	}
 	s.remaining -= net
 	if s.remaining <= 0 {
+		s.Overshoot -= s.remaining // record the deficit, then clamp
+		s.remaining = 0
 		s.Failures++
 		if s.Trace != nil && s.Trace.Enabled() {
 			s.Trace.Emit(obs.Event{Kind: obs.KindFailure, Time: t0 + dt, Layer: -1, Op: -1, Energy: energy})
@@ -198,7 +209,20 @@ func (s *Sim) Recharge() float64 {
 		return 0
 	}
 	t0 := s.OnTime + s.OffTime
-	off := s.Buffer.UsableEnergy() / s.cyclePow
+	var off float64
+	if s.trace != nil {
+		// Trace-driven supplies harvest at the profile's power *during*
+		// the dark interval, not at the power sampled when the cycle
+		// began: integrate the piecewise-linear trace forward from t0
+		// until it has refilled the buffer. Dividing by the stale
+		// cycle-start power instead mis-prices any recharge that spans a
+		// profile edge — a trace ramping up from ~0 after a cloud would
+		// charge the whole refill at the floor power and report hours of
+		// dark time the profile does not contain.
+		off = s.trace.rechargeTime(t0, s.Buffer.UsableEnergy())
+	} else {
+		off = s.Buffer.UsableEnergy() / s.cyclePow
+	}
 	s.OffTime += off
 	s.remaining = s.Buffer.UsableEnergy()
 	s.cyclePow = s.drawCyclePower()
@@ -210,6 +234,9 @@ func (s *Sim) Recharge() float64 {
 }
 
 // Remaining exposes the current buffer energy (for tests and telemetry).
+// It is clamped at zero: between a failure-causing Consume and the next
+// Recharge the buffer reads empty, with the deficit accounted in
+// Overshoot rather than as negative energy.
 func (s *Sim) Remaining() float64 { return s.remaining }
 
 // ---------------------------------------------------------------------------
@@ -253,13 +280,51 @@ func (tr *Trace) At(t float64) float64 {
 	if t >= tr.Times[last] {
 		return tr.Powers[last]
 	}
-	i := 1
-	for tr.Times[i] < t {
-		i++
-	}
+	// Smallest i with Times[i] >= t; the clamps above guarantee
+	// 1 <= i <= last, matching the old linear scan index exactly. At is
+	// called once per power cycle and per event-script tick, so a linear
+	// scan turns quadratic over long scenario traces.
+	i := sort.SearchFloat64s(tr.Times, t)
 	t0, t1 := tr.Times[i-1], tr.Times[i]
 	p0, p1 := tr.Powers[i-1], tr.Powers[i]
 	return p0 + (p1-p0)*(t-t0)/(t1-t0)
+}
+
+// rechargeTime returns how long the harvester needs, starting at t0, to
+// accumulate need joules from the (floor-clamped) piecewise-linear
+// profile. It walks the trace segment by segment, integrating the
+// trapezoid under each, and solves the final partial segment exactly.
+func (tr *Trace) rechargeTime(t0, need float64) float64 {
+	if need <= 0 {
+		return 0
+	}
+	t := t0
+	last := len(tr.Times) - 1
+	for t < tr.Times[last] {
+		pa := math.Max(tr.At(t), traceFloor)
+		i := sort.SearchFloat64s(tr.Times, t)
+		if tr.Times[i] == t {
+			i++ // t sits exactly on a sample: integrate to the next one
+		}
+		pb := math.Max(tr.Powers[i], traceFloor)
+		dt := tr.Times[i] - t
+		if seg := 0.5 * (pa + pb) * dt; seg < need {
+			need -= seg
+			t = tr.Times[i]
+			continue
+		}
+		// need is met inside [t, Times[i]): solve
+		// pa·x + ½·slope·x² = need for x. The citardauq form is stable
+		// for slope → 0 and the discriminant is ≥ pb² > 0 because the
+		// whole segment holds at least need.
+		slope := (pb - pa) / dt
+		x := 2 * need / (pa + math.Sqrt(math.Max(pa*pa+2*slope*need, 0)))
+		return t + x - t0
+	}
+	// Past the last sample the profile holds its final value (same end
+	// clamp as At).
+	pa := math.Max(tr.Powers[last], traceFloor)
+	return t - t0 + need/pa
 }
 
 // SolarDay builds a synthetic cloudy-day trace: a sine arc from dawn to

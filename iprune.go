@@ -228,26 +228,51 @@ type SweepPoint struct {
 // worker count. The masks the schedule needs are installed once, before
 // the fan-out, keeping the shared network read-only inside it.
 func PowerSweep(net *Network, sups []Supply, seed int64, workers int) []SweepPoint {
+	return PowerSweepContext(context.Background(), net, sups, seed, workers)
+}
+
+// PowerSweepContext is PowerSweep under a cancellable context. Points
+// the fan-out never ran (cancellation stops the pool between index
+// draws) carry the pool's error — typically ctx.Err() — in their Err
+// field alongside their Supply, so a partially-swept result never looks
+// like a clean one. Worker panics still propagate as panics.
+func PowerSweepContext(ctx context.Context, net *Network, sups []Supply, seed int64, workers int) []SweepPoint {
 	pts := make([]SweepPoint, len(sups))
+	for i := range pts {
+		pts[i].Supply = sups[i]
+	}
 	// Install masks up front so concurrent points never mutate net.
 	cfg := tile.DefaultConfig()
 	ensureMasks(net, tile.SpecsFromNetwork(net, cfg))
+	done := make([]bool, len(sups))
 	runPoint := func(i int) {
-		pts[i].Supply = sups[i]
 		pts[i].Result, pts[i].Err = Simulate(net, sups[i], seed)
+		done[i] = true
+	}
+	markSkipped := func(err error) {
+		for i := range pts {
+			if !done[i] {
+				pts[i].Err = err
+			}
+		}
 	}
 	if workers <= 1 || len(sups) <= 1 {
 		for i := range sups {
+			if err := ctx.Err(); err != nil {
+				markSkipped(err)
+				return pts
+			}
 			runPoint(i)
 		}
 		return pts
 	}
 	p := pool.New(workers - 1) // the calling goroutine participates
 	defer p.Close()
-	if err := p.ForEach(context.Background(), len(sups), runPoint); err != nil {
+	if err := p.ForEach(ctx, len(sups), runPoint); err != nil {
 		if pe, ok := err.(*pool.PanicError); ok {
 			panic(pe.Value)
 		}
+		markSkipped(err)
 	}
 	return pts
 }

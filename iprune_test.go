@@ -2,6 +2,7 @@ package iprune_test
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -47,6 +48,33 @@ func TestFacadeSimulateOrdering(t *testing.T) {
 	weak := sim(iprune.WeakPower)
 	if !(cont.Latency < strong.Latency && strong.Latency < weak.Latency) {
 		t.Errorf("latency ordering violated: %v %v %v", cont.Latency, strong.Latency, weak.Latency)
+	}
+}
+
+// TestPowerSweepCancelledPropagatesError pins the sweep error path: a
+// cancelled fan-out must surface the pool's error on every point it
+// never ran instead of returning points that look clean.
+func TestPowerSweepCancelledPropagatesError(t *testing.T) {
+	net, err := iprune.BuildModel("HAR", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sups := []iprune.Supply{iprune.ContinuousPower, iprune.StrongPower, iprune.WeakPower}
+	for _, workers := range []int{1, 3} {
+		pts := iprune.PowerSweepContext(ctx, net, sups, 1, workers)
+		if len(pts) != len(sups) {
+			t.Fatalf("workers=%d: got %d points, want %d", workers, len(pts), len(sups))
+		}
+		for i, pt := range pts {
+			if pt.Supply.Name != sups[i].Name {
+				t.Errorf("workers=%d: pts[%d].Supply = %q, want %q", workers, i, pt.Supply.Name, sups[i].Name)
+			}
+			if pt.Err == nil {
+				t.Errorf("workers=%d: pts[%d].Err = nil after cancellation", workers, i)
+			}
+		}
 	}
 }
 

@@ -78,6 +78,16 @@ go run ./cmd/repro -scale quick -artifacts "$tmp" -q fig2 > /dev/null
 test -s "$tmp/fig2/trace.json"
 go run scripts/jsoncheck.go "$tmp/fig2/trace.json"
 
+# Fleet scenario smoke: the shipped scenario must validate, pass its
+# assertions (ifleet run exits non-zero on a violation), and produce
+# byte-identical output at any fan-out width.
+echo "== fleet smoke"
+go run ./cmd/ifleet validate examples/fleet/smoke.json
+go run ./cmd/ifleet run -workers 1 examples/fleet/smoke.json > "$tmp/fleet1.out"
+go run ./cmd/ifleet run -workers 4 examples/fleet/smoke.json > "$tmp/fleet4.out"
+cmp "$tmp/fleet1.out" "$tmp/fleet4.out"
+cat "$tmp/fleet1.out"
+
 # Benchmark regression gate: when at least two BENCH_<date>.json
 # snapshots exist, diff the two most recent (lexical date sort) and fail
 # on hot-path regressions. One snapshot alone is just a baseline.
